@@ -1,0 +1,40 @@
+"""Ablation: tile-level decomposition (DESIGN.md #5).
+
+Why does PaRSEC need tiles *within* a node's block at all?  One giant
+tile per node has perfect surface-to-volume but only one task per
+iteration -- the node's workers starve.  This reproduces the
+motivation behind Fig. 6's sweep from the other side.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.runner import run
+from repro.experiments import NACL
+from repro.stencil.problem import JacobiProblem
+
+PROBLEM = JacobiProblem(n=5760, iterations=10)
+MACHINE = NACL.machine(16)
+
+
+def test_decomposition_ablation(once, show):
+    # 5760 over a 4x4 node grid -> 1440 rows per node: one tile per
+    # node (1440), a handful (480), the tuned size (288), tiny (72).
+    tiles = (1440, 480, 288, 72)
+    rows = []
+    for tile in tiles:
+        res = (once(run, PROBLEM, impl="base-parsec", machine=MACHINE,
+                    tile=tile, mode="simulate")
+               if tile == 288 else
+               run(PROBLEM, impl="base-parsec", machine=MACHINE,
+                   tile=tile, mode="simulate"))
+        tiles_per_node = (1440 // tile) ** 2
+        rows.append((tile, tiles_per_node, res.gflops, res.messages))
+    show(format_table(
+        ("Tile", "tiles/node", "GFLOP/s", "messages"),
+        rows, title="Ablation: intra-node decomposition (16 NaCL nodes)",
+    ))
+    by_tile = {r[0]: r[2] for r in rows}
+    # One tile per node starves 11 workers: much slower than tuned.
+    assert by_tile[1440] < 0.25 * by_tile[288]
+    # The tuned size beats both extremes.
+    assert by_tile[288] >= by_tile[72]
+    assert by_tile[288] > by_tile[1440]

@@ -1,0 +1,49 @@
+"""Ablation: per-message software overhead (DESIGN.md #3).
+
+The single most important network parameter for the CA scheme: its
+whole advantage is amortising per-message cost over s iterations.
+Sweeping it shows the CA gain ramping from nothing (free messages) to
+large (expensive messages).
+"""
+
+from dataclasses import replace
+
+from repro.analysis.tables import format_table
+from repro.core.runner import run
+from repro.experiments import NACL
+from repro.stencil.problem import JacobiProblem
+
+PROBLEM = JacobiProblem(n=5760, iterations=12)
+
+
+def _with_overhead(usec: float):
+    m = NACL.machine(16)
+    return replace(m, network=replace(m.network, software_overhead=usec * 1e-6))
+
+
+def _gain(usec: float) -> tuple[float, float, float]:
+    machine = _with_overhead(usec)
+    base = run(PROBLEM, impl="base-parsec", machine=machine, tile=288,
+               ratio=0.2, mode="simulate")
+    ca = run(PROBLEM, impl="ca-parsec", machine=machine, tile=288, steps=12,
+             ratio=0.2, mode="simulate")
+    return base.gflops, ca.gflops, ca.gflops / base.gflops - 1
+
+
+def test_overhead_ablation(once, show):
+    overheads = (2, 10, 20, 40, 80)
+    rows = []
+    for usec in overheads:
+        b, c, g = once(_gain, usec) if usec == overheads[-1] else _gain(usec)
+        rows.append((usec, b, c, f"{g:+.0%}"))
+    show(format_table(
+        ("overhead (us)", "base GFLOP/s", "CA GFLOP/s", "CA gain"),
+        rows, title="Ablation: per-message software overhead (ratio 0.2)",
+    ))
+    gains = [float(r[3].rstrip("%")) for r in rows]
+    # CA's edge grows monotonically with per-message cost...
+    assert gains == sorted(gains)
+    # ...is negligible when messages are nearly free...
+    assert gains[0] < 10
+    # ...and is decisive when they are expensive.
+    assert gains[-1] > 50

@@ -1,0 +1,52 @@
+"""Ablation: node-grid shape (the paper's surface-to-volume argument).
+
+Section V: "the nodes during runs were arranged into square compute
+grid and the data tiles were allocated in a 2D block fashion to
+exploit the surface-to-volume ratio effect."  This bench quantifies
+the claim by running the same problem on a square 4x4 node grid vs a
+1x16 strip arrangement: strips exchange the full grid edge per seam
+(more ghost bytes and, here, more messages per node pair), and the
+closed-form surface-to-volume metric predicts the ordering.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.analytic import surface_to_volume
+from repro.core.runner import run
+from repro.core.spec import StencilSpec
+from repro.distgrid.partition import ProcessGrid
+from repro.experiments import NACL
+from repro.stencil.problem import JacobiProblem
+
+PROBLEM = JacobiProblem(n=5760, iterations=10)
+MACHINE = NACL.machine(16)
+SHAPES = (ProcessGrid(4, 4), ProcessGrid(2, 8), ProcessGrid(1, 16))
+
+
+def _row(pgrid: ProcessGrid, ratio: float):
+    res = run(PROBLEM, impl="base-parsec", machine=MACHINE, tile=288,
+              ratio=ratio, mode="simulate", pgrid=pgrid)
+    spec = StencilSpec.create(PROBLEM, nodes=16, tile=288, steps=1, pgrid=pgrid)
+    return (
+        f"{pgrid.rows}x{pgrid.cols}",
+        surface_to_volume(spec),
+        res.message_bytes / 1e6,
+        res.gflops,
+    )
+
+
+def test_pgrid_ablation(once, show):
+    rows = [(_row(p, 0.2) if p != SHAPES[-1] else once(_row, p, 0.2))
+            for p in SHAPES]
+    show(format_table(
+        ("node grid", "surface/volume", "ghost MB", "GFLOP/s (r=0.2)"),
+        rows, title="Ablation: node-grid shape, 16 NaCL nodes, base version",
+    ))
+    s2v = [r[1] for r in rows]
+    ghost = [r[2] for r in rows]
+    perf = [r[3] for r in rows]
+    # Surface-to-volume worsens monotonically from square to strip...
+    assert s2v == sorted(s2v)
+    # ...and ghost traffic follows it.
+    assert ghost == sorted(ghost)
+    # The square arrangement is fastest in the comm-bound regime.
+    assert perf[0] == max(perf)

@@ -1,0 +1,54 @@
+"""Ablation: ready-queue policy (DESIGN.md #2).
+
+Priority scheduling (boundary-tiles-first) releases ghost messages
+into the network as early as possible; FIFO/LIFO serve tasks in
+enablement order.  The difference shows in the comm-bound regime.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.runner import run
+from repro.experiments import NACL
+from repro.stencil.problem import JacobiProblem
+
+PROBLEM = JacobiProblem(n=5760, iterations=12)
+MACHINE = NACL.machine(16)
+POLICIES = ("priority", "fifo", "lifo")
+
+
+def _sweep(ratio: float) -> dict[str, float]:
+    out = {}
+    for policy in POLICIES:
+        res = run(PROBLEM, impl="base-parsec", machine=MACHINE, tile=288,
+                  ratio=ratio, mode="simulate", policy=policy)
+        out[policy] = res.gflops
+    return out
+
+
+def test_scheduler_ablation(once, show):
+    comm_bound = once(_sweep, 0.2)
+    kernel_bound = _sweep(1.0)
+    rows = [
+        (policy, kernel_bound[policy], comm_bound[policy]) for policy in POLICIES
+    ]
+    show(format_table(
+        ("Policy", "ratio=1.0 GFLOP/s", "ratio=0.2 GFLOP/s"),
+        rows, title="Ablation: scheduler policy",
+    ))
+    # All policies complete the same work; results stay within a sane
+    # band of each other (the graph is regular), with priority at least
+    # matching FIFO when communication matters.
+    assert comm_bound["priority"] >= 0.95 * comm_bound["fifo"]
+    for policy in POLICIES:
+        assert kernel_bound[policy] > 0
+
+
+def test_boundary_priority_flag(once, show):
+    """Disabling the boundary-first bias must not break anything and
+    documents its (regime-dependent) effect."""
+    on = once(run, PROBLEM, impl="ca-parsec", machine=MACHINE, tile=288,
+              steps=12, ratio=0.2, mode="simulate", boundary_priority=True)
+    off = run(PROBLEM, impl="ca-parsec", machine=MACHINE, tile=288, steps=12,
+              ratio=0.2, mode="simulate", boundary_priority=False)
+    show(f"boundary-first {on.gflops:.0f} GF vs unbiased {off.gflops:.0f} GF "
+         f"({on.gflops / off.gflops - 1:+.1%})")
+    assert on.messages == off.messages

@@ -1,0 +1,41 @@
+"""Fig. 10: one node's execution trace, base vs CA (NaCL, 16 nodes,
+comm-bound kernel ratio).
+
+Reproduces the paper's three profiling findings: (a) CA achieves
+higher worker occupancy, (b) CA's kernels are individually *slower*
+(extra ghost copies; the paper measured median 153 ms vs 136 ms),
+(c) the CA run still finishes sooner.  Also renders both traces as
+ASCII Gantt charts.
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments import fig10_trace as f10
+
+
+def test_fig10_trace_profile(once, show):
+    exp = once(f10.capture)
+    comp = exp.comparison()
+    show(
+        format_table(f10.HEADERS, f10.rows(exp),
+                     title=f"Fig. 10 -- profiled node 0 (NaCL, {f10.NODES} nodes, ratio {f10.RATIO})"),
+        f"CA kernel slowdown (paper: 153/136 = 1.12x): {comp['ca_kernel_slowdown']:.3f}x",
+        f"CA end-to-end speedup (paper: ~1.14x): {comp['ca_speedup']:.3f}x",
+        "",
+        "base trace:",
+        exp.gantt("base", width=96),
+        "",
+        "CA trace:",
+        exp.gantt("ca", width=96),
+    )
+    # (a) higher occupancy for CA.
+    assert comp["ca_occupancy"] >= comp["base_occupancy"] - 1e-9
+    # (b) CA boundary kernels are slower on average (deep-ghost copies
+    # at refresh iterations; the paper reports 153 vs 136 ms medians,
+    # our copies concentrate in the refresh tasks so the *mean* moves).
+    from repro.analysis.occupancy import occupancy_report
+    workers = exp.base.machine.node.compute_cores
+    b = occupancy_report(exp.base.trace, f10.PROFILE_NODE, workers)
+    c = occupancy_report(exp.ca.trace, f10.PROFILE_NODE, workers)
+    assert c.mean_boundary_s > b.mean_boundary_s
+    # (c) CA finishes no later than base.
+    assert comp["ca_speedup"] >= 1.0

@@ -1,0 +1,34 @@
+"""Fig. 5: NetPIPE bandwidth vs message size for both interconnects.
+
+Prints the fraction-of-theoretical-peak series for NaCL (32 Gb/s IB
+QDR) and Stampede2 (100 Gb/s Omni-Path) and checks the quoted numbers:
+effective peaks ~27 / ~86 Gb/s, and the CA message-aggregation jump
+from ~20 % to ~70 % of peak bandwidth (conclusion section).
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments import NACL, fig5_netpipe
+
+
+def test_fig5_netpipe_curves(once, show):
+    rows = once(fig5_netpipe.rows)
+    show(format_table(fig5_netpipe.HEADERS, rows, title="Fig. 5 (modelled)"))
+    na_eff, s2_eff = fig5_netpipe.effective_peaks_gbit()
+    assert abs(na_eff - 27.0) < 0.5 and abs(s2_eff - 86.0) < 1.0
+    # The curve saturates below theoretical peak, like the measurement.
+    assert 0.80 < rows[-1][1] / 100 < 0.90  # NaCL: 27/32 = 0.84
+    assert 0.80 < rows[-1][2] / 100 < 0.90  # S2: 86/100 = 0.86
+    # And is latency-dominated for tiny messages.
+    assert rows[0][1] < 25 and rows[0][2] < 25
+
+
+def test_fig5_message_aggregation_gain(once, show):
+    gain = once(fig5_netpipe.message_aggregation_gain, NACL.machine(16), tile=288, steps=15)
+    show(
+        "CA aggregation on NaCL (tile 288, s=15): "
+        f"{gain['base_bytes']} B at {gain['base_fraction_of_peak']:.0%} of peak -> "
+        f"{gain['ca_bytes']} B at {gain['ca_fraction_of_peak']:.0%} of peak "
+        "(paper: ~20% -> ~70%)"
+    )
+    assert 0.10 < gain["base_fraction_of_peak"] < 0.30
+    assert 0.60 < gain["ca_fraction_of_peak"] < 0.80

@@ -1,0 +1,37 @@
+"""Fig. 6: single-node base-PaRSEC GFLOP/s vs tile size.
+
+Shape checks mirror the paper: the optimum lands in 200-300 on NaCL
+(~11 GFLOP/s plateau) and 400-2000 on Stampede2 (~43.5), tiny tiles
+lose to task overhead and oversized tiles starve the workers.
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments import NACL, STAMPEDE2, fig6_tilesize
+
+
+def _check(setup, points, show):
+    rows = [(p.tile, p.gflops) for p in points]
+    show(format_table(
+        fig6_tilesize.HEADERS, rows,
+        title=f"Fig. 6 -- {setup.name} (paper plateau "
+              f"~{fig6_tilesize.PAPER_PLATEAU[setup.name]} GFLOP/s at "
+              f"{fig6_tilesize.PAPER_OPTIMUM[setup.name]})",
+    ))
+    best = fig6_tilesize.best(points)
+    lo, hi = fig6_tilesize.PAPER_OPTIMUM[setup.name]
+    assert lo <= best.tile <= hi, f"optimum {best.tile} outside paper range {lo}-{hi}"
+    plateau = fig6_tilesize.PAPER_PLATEAU[setup.name]
+    assert abs(best.gflops - plateau) / plateau < 0.15
+    # Both ends of the sweep are worse than the optimum.
+    assert points[0].gflops < best.gflops
+    assert points[-1].gflops < best.gflops
+
+
+def test_fig6_tilesize_nacl(once, show):
+    points = once(fig6_tilesize.sweep, NACL)
+    _check(NACL, points, show)
+
+
+def test_fig6_tilesize_stampede2(once, show):
+    points = once(fig6_tilesize.sweep, STAMPEDE2)
+    _check(STAMPEDE2, points, show)

@@ -1,0 +1,53 @@
+"""Fig. 7: strong-scaling speedup over the 1-node base-PaRSEC run.
+
+Shape checks: all three implementations scale with node count; the
+two PaRSEC versions deliver ~2x the PETSc throughput everywhere (the
+paper's headline); base and CA are nearly indistinguishable with the
+full-speed (memory-bound) kernel.
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments import NACL, NODE_COUNTS, STAMPEDE2, fig7_strong_scaling as f7
+
+
+def _check(setup, show, node_counts=NODE_COUNTS):
+    points = f7.sweep(setup, node_counts)
+    rows = []
+    for nodes in node_counts:
+        by_impl = {p.impl: p for p in points if p.nodes == nodes}
+        rows.append((
+            nodes,
+            by_impl["petsc"].speedup,
+            by_impl["base-parsec"].speedup,
+            by_impl["ca-parsec"].speedup,
+        ))
+    show(format_table(
+        f7.HEADERS, rows,
+        title=f"Fig. 7 -- {setup.name}: speedup over 1-node base-PaRSEC "
+              "(paper: PaRSEC ~2x PETSc, base ~= CA)",
+    ))
+    ratios = f7.parsec_over_petsc(points)
+    for r in ratios:
+        assert 1.6 < r < 2.6, f"PaRSEC/PETSc ratio {r:.2f} far from the paper's 2x"
+    for nodes in node_counts:
+        by_impl = {p.impl: p for p in points if p.nodes == nodes}
+        base, ca = by_impl["base-parsec"], by_impl["ca-parsec"]
+        # "almost indistinguishable" in the paper; our model lets CA
+        # trail by a few percent at 64 nodes (redundant work + bursty
+        # refreshes) -- see EXPERIMENTS.md.
+        assert abs(base.gflops - ca.gflops) / base.gflops < 0.12, (
+            "base and CA should be nearly indistinguishable at full kernel speed"
+        )
+    # Monotone scaling for every implementation.
+    for impl in ("petsc", "base-parsec", "ca-parsec"):
+        series = [p.speedup for p in points if p.impl == impl]
+        assert series == sorted(series)
+    return points
+
+
+def test_fig7_strong_scaling_nacl(once, show):
+    once(lambda: _check(NACL, show))
+
+
+def test_fig7_strong_scaling_stampede2(once, show):
+    once(lambda: _check(STAMPEDE2, show))

@@ -1,0 +1,50 @@
+"""Fig. 8: tuned-kernel (ratio) sweep, base vs CA, per node count.
+
+Shape checks: GFLOP/s grows as the ratio shrinks; CA's advantage
+appears once the kernel stops dominating and peaks at the smallest
+ratio; at the 16-node NaCL point the gain lands near the paper's 57 %;
+the base full-kernel reference line sits below every reduced-kernel
+point.
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments import NACL, STAMPEDE2, fig8_kernel_ratio as f8
+
+
+def test_fig8_kernel_ratio_nacl(once, show):
+    points = once(f8.sweep, NACL, (4, 16, 64))
+    ref = f8.reference_line(NACL, (16,))
+    show(
+        format_table(
+            f8.HEADERS,
+            [(p.nodes, p.ratio, p.base_gflops, p.ca_gflops, f"{p.gain:+.0%}") for p in points],
+            title="Fig. 8 -- NaCL (paper: up to +57% at 16 nodes, small ratio)",
+        ),
+        f"base reference line (ratio=1.0, 16 nodes): {ref[16]:.0f} GFLOP/s",
+    )
+    best16 = f8.best_gain(points, nodes=16)
+    assert best16.ratio == 0.2, "CA gain should peak at the smallest ratio"
+    assert 0.40 <= best16.gain <= 0.75, (
+        f"16-node NaCL gain {best16.gain:+.0%} should land near the paper's +57%"
+    )
+    # GFLOP/s rises monotonically as the kernel shrinks, per node count.
+    for nodes in (4, 16, 64):
+        series = [p.ca_gflops for p in points if p.nodes == nodes]
+        ordered = [p.ratio for p in points if p.nodes == nodes]
+        assert ordered == sorted(ordered) and series == sorted(series, reverse=True)
+    # The reference (full-kernel) line sits below the tuned points.
+    assert all(ref[16] < p.base_gflops for p in points if p.nodes == 16)
+
+
+def test_fig8_kernel_ratio_stampede2(once, show):
+    points = once(f8.sweep, STAMPEDE2, (16, 64))
+    show(format_table(
+        f8.HEADERS,
+        [(p.nodes, p.ratio, p.base_gflops, p.ca_gflops, f"{p.gain:+.0%}") for p in points],
+        title="Fig. 8 -- Stampede2 (paper: up to +33%; +18% at 16 nodes)",
+    ))
+    best = f8.best_gain(points)
+    assert best.nodes == 64 and best.ratio == 0.2
+    assert 0.20 <= best.gain <= 0.50, (
+        f"Stampede2 best gain {best.gain:+.0%} should land near the paper's +33%"
+    )

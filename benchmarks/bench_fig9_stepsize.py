@@ -1,0 +1,66 @@
+"""Fig. 9: CA step-size tuning across kernel ratios.
+
+Shape checks: the optimal step size is interior in the comm-bound
+regime (too-small s communicates too often, too-large s piles up
+redundant work and bursty refreshes -- "the step size needs to be
+tuned"), and step size barely matters when the kernel dominates.
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments import NACL, STEP_SIZES, fig9_stepsize as f9
+
+
+def test_fig9_stepsize_nacl(once, show):
+    points = once(f9.sweep, NACL, (16,))
+    rows = []
+    for ratio in sorted({p.ratio for p in points}):
+        row = [16, ratio]
+        for s in STEP_SIZES:
+            row.append(next(p.gflops for p in points
+                            if p.ratio == ratio and p.steps == s))
+        rows.append(tuple(row))
+    show(format_table(
+        f9.HEADERS, rows,
+        title="Fig. 9 -- NaCL, 16 nodes (GFLOP/s per CA step size)",
+    ))
+    # Comm-bound regime (smallest ratio): the step size matters a lot.
+    bound = {p.steps: p.gflops for p in points if p.ratio == 0.2}
+    assert max(bound.values()) / min(bound.values()) > 1.10
+    # s=5 communicates 3x more often than s=15: it should not win.
+    opt = f9.optimal_step(points, nodes=16, ratio=0.2)
+    assert opt.steps > 5, f"optimal step {opt.steps} should exceed the smallest"
+    # Kernel-bound regime (ratio 0.8): step size is nearly irrelevant.
+    calm = {p.steps: p.gflops for p in points if p.ratio == 0.8}
+    assert max(calm.values()) / min(calm.values()) < 1.10
+
+
+def test_fig9_redundant_work_grows_with_steps(once, show):
+    """Sanity on the tradeoff itself: bigger s means more replicated
+    work (and fewer messages) -- the two sides of PA1's bargain."""
+    from repro.core.runner import run
+
+    from repro.stencil.problem import JacobiProblem
+
+    # 80 iterations so every step size completes several supersteps
+    # (with too few iterations all step sizes degenerate to a single
+    # refresh and the message counts tie).
+    problem = JacobiProblem(n=5760, iterations=80)
+
+    def _sweep():
+        fractions = {}
+        messages = {}
+        for s in (5, 15, 40):
+            res = run(
+                problem, impl="ca-parsec", machine=NACL.machine(16),
+                tile=288, steps=s, mode="simulate",
+            )
+            fractions[s] = res.redundant_fraction
+            messages[s] = res.messages
+        return fractions, messages
+
+    fractions, messages = once(_sweep)
+    show(f"redundant-work fraction by step size: "
+         + ", ".join(f"s={s}: {f:.2%}" for s, f in fractions.items()),
+         f"messages by step size: {messages}")
+    assert fractions[5] < fractions[15] < fractions[40]
+    assert messages[5] > messages[15] > messages[40]

@@ -1,0 +1,18 @@
+"""The abstract's headline numbers, recomputed end to end.
+
+"2X speedup over the standard SpMV solution implemented in PETSc, and
+... the CA-PaRSEC version achieved up to 57% and 33% speedup over
+base-PaRSEC implementation on NaCL and Stampede2 respectively."
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments import headline
+
+
+def test_headlines(once, show):
+    h = once(headline.compute)
+    show(format_table(headline.HEADERS, headline.rows(h), title="Headline claims"))
+    assert 1.6 < h.parsec_over_petsc_nacl < 2.6
+    assert 1.6 < h.parsec_over_petsc_s2 < 2.6
+    assert 0.40 <= h.ca_gain_nacl <= 0.75  # paper: +57%
+    assert 0.20 <= h.ca_gain_s2 <= 0.50  # paper: +33%

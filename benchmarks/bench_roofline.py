@@ -1,0 +1,19 @@
+"""Section VI-A: roofline effective-peak brackets for the stencil.
+
+Paper: arithmetic intensity 0.37-0.56 FLOP/B gives 14.5-21.9 GFLOP/s
+on NaCL and 63.8-96.6 GFLOP/s on Stampede2.
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments import roofline_exp
+
+
+def test_roofline_brackets(once, show):
+    rows = once(roofline_exp.rows)
+    show(
+        format_table(roofline_exp.HEADERS, rows, title="Roofline brackets (modelled)"),
+        f"paper brackets: {roofline_exp.PAPER}",
+        f"max relative error vs paper: {roofline_exp.max_relative_error():.1%}",
+    )
+    # Within 5%: the paper multiplies rounded bandwidths (39.1/172.5 GB/s).
+    assert roofline_exp.max_relative_error() < 0.05

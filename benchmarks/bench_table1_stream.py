@@ -1,0 +1,32 @@
+"""Table I: STREAM bandwidths of the two machine models (MB/s).
+
+Regenerates all sixteen cells of the paper's Table I from the machine
+models and asserts they match the paper (the models are calibrated to
+it; this closes the loop), then measures a real numpy STREAM on the
+current host for comparison.
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments import table1_stream
+from repro.machine.stream import run_host
+
+
+def test_table1_stream_model(once, show):
+    rows = once(table1_stream.rows)
+    show(
+        format_table(table1_stream.HEADERS, rows, title="Table I (modelled, MB/s)"),
+        format_table(table1_stream.HEADERS, table1_stream.paper_rows(),
+                     title="Table I (paper, MB/s)"),
+        f"max relative error: {table1_stream.max_relative_error():.2e}",
+    )
+    assert table1_stream.max_relative_error() < 1e-6
+
+
+def test_stream_host_measurement(benchmark, show):
+    """Real STREAM COPY/SCALE/ADD/TRIAD on this host (numpy)."""
+    result = benchmark.pedantic(
+        run_host, kwargs={"elements": 2_000_000, "repeats": 3}, rounds=3, iterations=1
+    )
+    show(format_table(table1_stream.HEADERS, [result.as_row()],
+                      title="This host (measured, MB/s)"))
+    assert result.copy > 0

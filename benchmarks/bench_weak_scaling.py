@@ -1,0 +1,35 @@
+"""Weak scaling (extension study, not a paper figure).
+
+Constant per-node workload: ideal throughput grows linearly with the
+node count.  Checks both implementations keep high weak-scaling
+efficiency at full kernel speed and that CA's efficiency advantage
+appears once the kernel is tuned down (the comm-bound regime).
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments import weak_scaling
+from repro.experiments.common import NACL
+
+
+def test_weak_scaling_efficiency(once, show):
+    points = once(weak_scaling.sweep, NACL, 5, (1, 4, 16))
+    show(format_table(
+        weak_scaling.HEADERS, weak_scaling.rows(points),
+        title="Weak scaling, NaCL, 5x5 tiles of 288 per node (ratio 1.0)",
+    ))
+    for p in points:
+        assert p.base_efficiency > 0.7
+        assert p.ca_efficiency > 0.7
+    # Throughput must grow with the machine.
+    series = [p.base_gflops for p in points]
+    assert series == sorted(series)
+
+
+def test_weak_scaling_comm_bound_favours_ca(once, show):
+    points = once(weak_scaling.sweep, NACL, 5, (1, 16), 0.2)
+    show(format_table(
+        weak_scaling.HEADERS, weak_scaling.rows(points),
+        title="Weak scaling, NaCL, tuned kernel (ratio 0.2)",
+    ))
+    multi = points[-1]
+    assert multi.ca_gflops > multi.base_gflops

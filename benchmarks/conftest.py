@@ -1,0 +1,35 @@
+"""Shared benchmark plumbing.
+
+Every bench regenerates one paper artefact and *prints the same rows
+the paper reports* (through ``show``, which bypasses pytest's capture
+so the tables land in the terminal / tee'd log).  Heavy simulations
+run exactly once via ``once`` -- the interesting measurement is the
+modelled virtual time, not the wall time of the simulator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print through pytest's capture (tables stay visible in logs)."""
+
+    def _show(*chunks: str) -> None:
+        with capsys.disabled():
+            print()
+            for chunk in chunks:
+                print(chunk)
+
+    return _show
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def _once(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _once

@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""The runtime's two programming models on a tiny non-stencil problem.
+
+Shows that the substrate under the paper's stencils is a general
+task runtime: the same blocked matrix-vector iteration written twice,
+first with Dynamic Task Discovery (sequential insertion, dependencies
+inferred from data access modes) and then with a Parameterized Task
+Graph (algebraic dataflow, never materialised by the user), both
+executed on the simulated 2-node machine with real numpy payloads.
+"""
+
+import numpy as np
+
+import repro
+from repro.runtime import (
+    IN,
+    INOUT,
+    DTDRuntime,
+    Dependency,
+    Engine,
+    PTG,
+    TaskClass,
+)
+
+
+def dtd_version(A_blocks, x0, sweeps):
+    """y = A x repeated, inserted task by task like PaRSEC DTD."""
+    nb = len(A_blocks)
+    dtd = DTDRuntime()
+    xs = [dtd.data(f"x{b}", node=b % 2, nbytes=x0[b].nbytes, initial=x0[b])
+          for b in range(nb)]
+
+    def make_kernel(blocks_row):
+        def kernel(ins, task):
+            # Keep data payloads only (WAR/WAW control edges carry
+            # None) and order blocks by their handle name "x<b>#v<k>".
+            blocks = {
+                tag.split("#")[0]: np.asarray(v)
+                for (_, tag), v in ins.items()
+                if v is not None and tag.startswith("x")
+            }
+            x = np.concatenate([blocks[f"x{b}"] for b in range(len(blocks))])
+            return {next(iter(task.out_nbytes)): blocks_row @ x}
+        return kernel
+
+    for _ in range(sweeps):
+        # Row b updates x_b from every current block (INOUT on its own).
+        for b in range(nb):
+            accesses = [(xs[c], IN) for c in range(nb) if c != b] + [(xs[b], INOUT)]
+            dtd.insert_task(make_kernel(A_blocks[b]), node=b % 2,
+                            accesses=accesses, cost=1e-6)
+    # A terminal reader gathers the final version of every handle
+    # (intermediate versions are recycled by the runtime).
+    def fetch(ins, task):
+        blocks = {
+            tag.split("#")[0]: np.asarray(v)
+            for (_, tag), v in ins.items()
+            if v is not None
+        }
+        return {"final": np.concatenate([blocks[f"x{b}"] for b in range(nb)])}
+
+    sink = dtd.insert_task(fetch, node=0, accesses=[(x, IN) for x in xs])
+    rep = Engine(dtd.graph(), repro.nacl(2), execute=True).run()
+    return np.asarray(rep.results[(sink.key, "final")])
+
+
+def ptg_version(A_blocks, x0, sweeps):
+    """The same iteration as a parameterized task graph."""
+    nb = len(A_blocks)
+
+    def kernel(ins, task):
+        _, b, t = task.key
+        x = np.concatenate(
+            [np.asarray(ins[(("mv", c, t - 1), "x")]) if t > 0
+             else x0[c] for c in range(nb)]
+        )
+        return {"x": A_blocks[b] @ x}
+
+    ptg = PTG()
+    ptg.add_class(TaskClass(
+        name="mv",
+        parameter_space=lambda: ((b, t) for t in range(sweeps) for b in range(nb)),
+        node=lambda b, t: b % 2,
+        dependencies=[
+            Dependency(
+                producer=lambda b, t, c=c: ("mv", c, t - 1) if t > 0 else None,
+                tag="x",
+                nbytes=x0[0].nbytes,
+            )
+            for c in range(4)
+        ],
+        outputs={"x": x0[0].nbytes},
+        cost=1e-6,
+        kernel=kernel,
+    ))
+    rep = Engine(ptg.build(), repro.nacl(2), execute=True).run()
+    return np.concatenate(
+        [np.asarray(rep.results[(("mv", b, sweeps - 1), "x")]) for b in range(nb)]
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    n, nb, sweeps = 16, 4, 5
+    A = rng.normal(size=(n, n)) / n  # contraction, keeps values tame
+    A_blocks = [A[b * 4:(b + 1) * 4, :] for b in range(nb)]
+    x0 = [rng.normal(size=4) for _ in range(nb)]
+
+    want = np.concatenate(x0)
+    for _ in range(sweeps):
+        want = A @ want
+
+    got_ptg = ptg_version(A_blocks, x0, sweeps)
+    assert np.allclose(got_ptg, want, rtol=1e-12), "PTG result mismatch"
+    print(f"PTG front-end: {sweeps} blocked mat-vec sweeps OK "
+          f"(|x| = {np.linalg.norm(got_ptg):.6f})")
+
+    # DTD's in-place semantics use the freshest blocks (Gauss-Seidel
+    # flavoured), so we check self-consistency instead of the PTG value.
+    got_dtd = dtd_version(A_blocks, x0, sweeps)
+    again = dtd_version(A_blocks, x0, sweeps)
+    assert np.allclose(got_dtd, again), "DTD must be deterministic"
+    print(f"DTD front-end: sequential insertion with inferred deps OK "
+          f"(|x| = {np.linalg.norm(got_dtd):.6f})")
+    print("\nBoth PaRSEC programming models run on the same engine, "
+          "with real payloads and simulated time.")
+
+
+if __name__ == "__main__":
+    main()

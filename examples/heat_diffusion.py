@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Heat diffusion: a physical time-stepping workload on the CA runtime.
+
+Simulates explicit-Euler heat diffusion (the intro's canonical PDE
+workload): a hot square in a cold plate with cold walls.  The 5-point
+update with heat weights is exactly the paper's stencil, so the
+communication-avoiding machinery applies unchanged -- we run it with a
+deep step size and verify energy behaviour and agreement with the
+reference solver, then report what CA saved in messages.
+"""
+
+import numpy as np
+
+import repro
+
+
+def hot_square(rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """100-degree square patch near the cold north wall."""
+    out = np.zeros(rows.shape)
+    hot = (rows >= 2) & (rows < 14) & (cols >= 58) & (cols < 70)
+    out[hot] = 100.0
+    return out
+
+
+def main() -> None:
+    problem = repro.JacobiProblem(
+        n=128,
+        iterations=96,
+        init=hot_square,
+        bc=repro.DirichletBC(0.0),  # cold walls
+        weights=repro.StencilWeights.heat_explicit(0.2),  # stable step
+    )
+    machine = repro.nacl(4)
+
+    ca = repro.run(problem, impl="ca-parsec", machine=machine,
+                   tile=32, steps=8, mode="execute")
+    base = repro.run(problem, impl="base-parsec", machine=machine,
+                     tile=32, mode="execute")
+
+    ref = problem.reference_solution()
+    assert np.array_equal(ca.grid, ref), "CA result must be bit-exact"
+    assert np.array_equal(base.grid, ref)
+
+    initial = problem.initial_grid()
+    print(f"heat diffusion on a {problem.shape[0]}^2 plate, "
+          f"{problem.iterations} explicit steps")
+    print(f"  peak temperature: {initial.max():.1f} -> {ca.grid.max():.2f}")
+    print(f"  total heat (cold walls leak it): "
+          f"{initial.sum():.0f} -> {ca.grid.sum():.0f}")
+    assert ca.grid.max() < initial.max(), "diffusion must flatten the peak"
+    assert 0 < ca.grid.sum() < initial.sum(), "cold walls absorb heat"
+
+    # The hot spot spreads: cells outside the original square warm up.
+    outside = ca.grid[22, 64]
+    print(f"  temperature at (20, 64), outside the source: {outside:.3f}")
+    assert outside > 0
+
+    print(f"\ncommunication: base {base.messages} messages "
+          f"({base.message_bytes / 1e3:.0f} kB) vs CA {ca.messages} "
+          f"({ca.message_bytes / 1e3:.0f} kB) -- "
+          f"{1 - ca.messages / base.messages:.0%} fewer messages for "
+          f"{ca.redundant_fraction:.1%} redundant work")
+
+
+if __name__ == "__main__":
+    main()

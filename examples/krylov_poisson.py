@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Krylov solvers on the distributed substrate (the intro's workload).
+
+The paper motivates stencil/SpMV optimisation through the solvers
+built on it: Jacobi is the simplest, Krylov methods the workhorses.
+This example solves the same Dirichlet Poisson problem three ways on
+the PETSc-lite substrate -- Richardson (the paper's Jacobi loop as a
+solver), plain CG and Jacobi-preconditioned CG -- and compares their
+*communication profiles*: SpMVs (ghost exchanges) and global
+reductions (allreduces), the costs s-step/CA Krylov methods attack.
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis.tables import format_table
+from repro.petsclite.ksp import cg, jacobi_preconditioner, poisson_system, richardson
+
+
+def main() -> None:
+    problem = repro.JacobiProblem(
+        n=48, iterations=0,
+        bc=repro.DirichletBC(lambda r, c: np.cos(0.15 * r) + 0.02 * c),
+    )
+    A, b = poisson_system(problem, nranks=8)
+
+    rich = richardson(A, b, omega=0.24, rtol=1e-8, maxiter=20000)
+    plain = cg(A, b, rtol=1e-8, maxiter=2000)
+    pre = cg(A, b, rtol=1e-8, maxiter=2000,
+             preconditioner=jacobi_preconditioner(A))
+
+    # Note: the constant-coefficient Laplacian has a constant diagonal,
+    # so Jacobi preconditioning is an exact rescaling here (identical
+    # iteration counts); tests/test_ksp.py shows it accelerating
+    # genuinely ill-conditioned operators.
+    rows = []
+    for name, res in (("Richardson (Jacobi)", rich), ("CG", plain),
+                      ("CG + Jacobi PC", pre)):
+        assert res.converged, f"{name} did not converge"
+        rows.append((name, res.iterations, res.spmvs, res.reductions,
+                     f"{res.final_residual:.2e}"))
+
+    print(format_table(
+        ("solver", "iterations", "SpMVs (halo exchanges)",
+         "reductions (allreduces)", "final residual"),
+        rows,
+        title=f"Dirichlet Poisson, {problem.shape[0]}^2 unknowns, rtol 1e-8",
+    ))
+
+    x_rich = rich.x.to_global()
+    x_cg = pre.x.to_global()
+    print(f"\nsolution agreement |CG - Richardson|_inf = "
+          f"{np.max(np.abs(x_cg - x_rich)):.2e}")
+    assert np.allclose(x_cg, x_rich, atol=1e-5)
+
+    print("CG cuts halo exchanges by "
+          f"{rich.spmvs / plain.spmvs:.0f}x vs the stationary iteration, "
+          "but adds the allreduce traffic that communication-avoiding "
+          "(s-step) Krylov methods restructure -- the paper's runtime is "
+          "the substrate both optimisations target.")
+
+
+if __name__ == "__main__":
+    main()

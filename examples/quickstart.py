@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: solve Laplace's equation three ways and compare.
+
+Runs the paper's three implementations -- PETSc-style SpMV, base
+task-based and communication-avoiding -- on a small grid in *execute*
+mode (real numpy kernels on real data), verifies all three agree with
+the single-array reference solver, and prints each run's modelled
+performance on a 4-node NaCL machine.
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis.tables import format_table
+
+
+def main() -> None:
+    # Laplace: interior starts at 0, the boundary is held at 1.0.
+    problem = repro.JacobiProblem(
+        n=128,
+        iterations=50,
+        init=0.0,
+        bc=repro.DirichletBC(1.0),
+        weights=repro.StencilWeights.laplace_jacobi(),
+    )
+    machine = repro.nacl(4)
+    reference = problem.reference_solution()
+
+    rows = []
+    for impl, kwargs in (
+        ("petsc", {}),
+        ("base-parsec", {"tile": 32}),
+        ("ca-parsec", {"tile": 32, "steps": 5}),
+    ):
+        result = repro.run(problem, impl=impl, machine=machine, mode="execute", **kwargs)
+        error = float(np.max(np.abs(result.grid - reference)))
+        rows.append((
+            impl,
+            f"{result.elapsed * 1e3:.2f}",
+            f"{result.gflops:.2f}",
+            result.messages,
+            f"{error:.1e}",
+        ))
+        assert error < 1e-12, f"{impl} diverged from the reference"
+
+    print(format_table(
+        ("implementation", "model ms", "GFLOP/s", "messages", "max err vs reference"),
+        rows,
+        title=f"Jacobi {problem.shape[0]}^2, {problem.iterations} iterations "
+              f"on {machine.name} x{machine.nodes} (modelled time, real numerics)",
+    ))
+    print("\nAll three implementations agree with the reference solver.")
+    print(f"Jacobi is converging toward the boundary value 1.0: "
+          f"interior mean {reference.mean():.4f} after {problem.iterations} sweeps.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Strong scaling study: Fig. 7 in miniature, on your terminal.
+
+Sweeps node counts for the three implementations on the NaCL machine
+model (scaled-down problem so it runs in seconds) and prints the
+speedup table the paper plots: PaRSEC versions ~2x PETSc, base ~= CA
+while the kernel is memory-bound.
+"""
+
+import repro
+from repro.analysis.tables import format_table
+
+
+def main() -> None:
+    problem = repro.JacobiProblem(n=5760, iterations=10)
+    tile, steps = 288, 15
+    node_counts = (1, 4, 16)
+
+    baseline = repro.run(
+        problem, impl="base-parsec", machine=repro.nacl(1), tile=tile,
+        mode="simulate",
+    ).gflops
+
+    rows = []
+    for nodes in node_counts:
+        machine = repro.nacl(nodes)
+        cells = {}
+        for impl, kwargs in (
+            ("petsc", {}),
+            ("base-parsec", {"tile": tile}),
+            ("ca-parsec", {"tile": tile, "steps": steps}),
+        ):
+            res = repro.run(problem, impl=impl, machine=machine,
+                            mode="simulate", **kwargs)
+            cells[impl] = res.gflops
+        rows.append((
+            nodes,
+            f"{cells['petsc'] / baseline:.2f}",
+            f"{cells['base-parsec'] / baseline:.2f}",
+            f"{cells['ca-parsec'] / baseline:.2f}",
+            f"{cells['base-parsec'] / cells['petsc']:.2f}x",
+        ))
+
+    print(format_table(
+        ("nodes", "PETSc", "base-PaRSEC", "CA-PaRSEC", "PaRSEC/PETSc"),
+        rows,
+        title=f"strong scaling speedup over 1-node base-PaRSEC "
+              f"({problem.shape[0]}^2 grid, tile {tile}, NaCL model)",
+    ))
+    print("\npaper's finding: the task-based versions deliver ~2x the SpMV"
+          "\nbaseline (index traffic) and base ~= CA at full kernel speed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro -- Communication-Avoiding 2D stencils over a task-based runtime.
+
+A full-system reproduction of *Communication Avoiding 2D Stencil
+Implementations over PaRSEC Task-Based Runtime* (Pei et al., IPDPSW
+2020): a PaRSEC-style dataflow runtime with a discrete-event machine
+model, three Jacobi-stencil implementations (PETSc-style SpMV, base
+task-based, communication-avoiding PA1), and the paper's full
+benchmark harness.
+
+Quickstart
+----------
+>>> import repro
+>>> prob = repro.JacobiProblem(n=64, iterations=10)
+>>> res = repro.run(prob, impl="ca-parsec", machine=repro.nacl(4),
+...                 tile=16, steps=5, mode="execute")
+>>> res.grid.shape
+(64, 64)
+"""
+
+from .machine import (
+    MachineSpec,
+    NetworkSpec,
+    NodeSpec,
+    nacl,
+    preset,
+    stampede2,
+    summit_like,
+)
+from .core import (
+    DirichletBC,
+    IMPLEMENTATIONS,
+    JacobiProblem,
+    RunResult,
+    StencilSpec,
+    StencilWeights,
+    run,
+    validate_implementations,
+)
+from .runtime import Engine, TaskGraph, Trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DirichletBC",
+    "Engine",
+    "IMPLEMENTATIONS",
+    "JacobiProblem",
+    "MachineSpec",
+    "NetworkSpec",
+    "NodeSpec",
+    "RunResult",
+    "StencilSpec",
+    "StencilWeights",
+    "TaskGraph",
+    "Trace",
+    "nacl",
+    "preset",
+    "run",
+    "stampede2",
+    "summit_like",
+    "validate_implementations",
+    "__version__",
+]

@@ -1,0 +1,72 @@
+"""Flat-record CSV export/import for sweep results.
+
+The benchmark harness prints tables; longer studies want files.  These
+helpers move lists of flat dicts (e.g. ``RunResult.to_dict()``) in and
+out of CSV with type round-tripping for the common scalar types.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Sequence
+
+
+def _encode(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _decode(text: str) -> Any:
+    if text == "":
+        return None
+    if text in ("true", "false"):
+        return text == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def dumps(records: Sequence[dict], fields: Sequence[str] | None = None) -> str:
+    """Render records as CSV text; columns default to the union of keys
+    in first-seen order."""
+    if not records:
+        return ""
+    if fields is None:
+        fields = []
+        for rec in records:
+            for key in rec:
+                if key not in fields:
+                    fields.append(key)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(fields), extrasaction="ignore")
+    writer.writeheader()
+    for rec in records:
+        writer.writerow({k: _encode(rec.get(k)) for k in fields})
+    return buf.getvalue()
+
+
+def loads(text: str) -> list[dict]:
+    """Parse CSV text back into typed records."""
+    if not text.strip():
+        return []
+    reader = csv.DictReader(io.StringIO(text))
+    return [{k: _decode(v) for k, v in row.items()} for row in reader]
+
+
+def write_csv(records: Sequence[dict], path: str, fields: Sequence[str] | None = None) -> None:
+    with open(path, "w", newline="") as fh:
+        fh.write(dumps(records, fields))
+
+
+def read_csv(path: str) -> list[dict]:
+    with open(path) as fh:
+        return loads(fh.read())

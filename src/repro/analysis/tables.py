@@ -1,0 +1,69 @@
+"""Fixed-width table formatting for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's tables
+and figures report; this module renders them readably in a terminal
+and as GitHub-flavoured markdown for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def _format_cell(value: Any, precision: int) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 10000 or magnitude < 0.001:
+            return f"{value:.{precision}g}"
+        return f"{value:,.{precision}f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render rows as an aligned text table."""
+    cells = [[_format_cell(v, precision) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(f"row of {len(row)} cells under {len(headers)} headers")
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    precision: int = 3,
+) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    lines = ["| " + " | ".join(headers) + " |", "|" + "---|" * len(headers)]
+    for row in rows:
+        cells = [_format_cell(v, precision) for v in row]
+        if len(cells) != len(headers):
+            raise ValueError(f"row of {len(cells)} cells under {len(headers)} headers")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def dicts_to_table(records: Sequence[dict], keys: Sequence[str] | None = None) -> str:
+    """Tabulate a list of flat dicts (e.g. ``RunResult.to_dict()``)."""
+    if not records:
+        return "(no rows)"
+    keys = list(keys or records[0].keys())
+    rows = [[rec.get(k, "") for k in keys] for rec in records]
+    return format_table(keys, rows)

@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro ...``.
+
+Gives the library's main entry points a shell-friendly face:
+
+* ``run`` -- run one implementation on one machine configuration and
+  print the performance summary (optionally verify against the
+  reference or export a Chrome trace);
+* ``experiment`` -- regenerate one of the paper's tables/figures by
+  registry id (``table1``, ``fig5`` ... ``headlines``);
+* ``validate`` -- the cross-implementation equivalence check;
+* ``machines`` -- list the machine presets with their parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.tables import format_table
+from .core.runner import IMPLEMENTATIONS, run
+from .core.validate import validate_implementations
+from .machine.machine import PRESETS, preset
+from .stencil.problem import JacobiProblem
+
+
+def _add_run_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("run", help="run one stencil implementation")
+    p.add_argument("--impl", choices=IMPLEMENTATIONS, default="ca-parsec")
+    p.add_argument("--machine", default="nacl", help="machine preset name")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--n", type=int, default=1152, help="grid edge length")
+    p.add_argument("--iterations", type=int, default=20)
+    p.add_argument("--tile", type=int, default=None)
+    p.add_argument("--steps", type=int, default=15, help="CA step size")
+    p.add_argument("--ratio", type=float, default=1.0,
+                   help="kernel adjustment ratio (section VI-D)")
+    p.add_argument("--policy", default="priority",
+                   choices=("priority", "fifo", "lifo"))
+    p.add_argument("--execute", action="store_true",
+                   help="run real kernels and check against the reference")
+    p.add_argument("--trace-out", default=None, metavar="FILE.json",
+                   help="write a Chrome trace-event file")
+
+
+def _add_experiment_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("id", help="experiment id (use 'list' to enumerate)")
+
+
+def _add_validate_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("validate", help="cross-implementation equivalence check")
+    p.add_argument("--n", type=int, default=48)
+    p.add_argument("--iterations", type=int, default=8)
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--tile", type=int, default=8)
+    p.add_argument("--steps", type=int, default=3)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Communication-avoiding 2D stencils over a task-based "
+                    "runtime (IPDPSW 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_run_parser(sub)
+    _add_experiment_parser(sub)
+    _add_validate_parser(sub)
+    sub.add_parser("machines", help="list machine presets")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    machine = preset(args.machine, nodes=args.nodes)
+    problem = JacobiProblem(n=args.n, iterations=args.iterations)
+    result = run(
+        problem,
+        impl=args.impl,
+        machine=machine,
+        tile=args.tile,
+        steps=args.steps,
+        ratio=args.ratio,
+        policy=args.policy,
+        mode="execute" if args.execute else "simulate",
+        trace=args.trace_out is not None,
+    )
+    print(result.summary())
+    if args.execute:
+        import numpy as np
+
+        err = float(np.max(np.abs(result.grid - problem.reference_solution())))
+        print(f"max |error| vs reference: {err:.3e}")
+        if err > 1e-9:
+            print("VALIDATION FAILED", file=sys.stderr)
+            return 1
+    if args.trace_out:
+        from .runtime import chrome_trace
+
+        chrome_trace.write(result.trace, args.trace_out)
+        print(f"trace written to {args.trace_out} (open in chrome://tracing)")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import registry
+    from .experiments.common import NACL, STAMPEDE2
+
+    if args.id == "list":
+        rows = [(e.id, e.paper_artifact, e.description) for e in registry.REGISTRY.values()]
+        print(format_table(("id", "artifact", "description"), rows))
+        return 0
+    entry = registry.get(args.id)
+    module = entry.module
+    print(f"{entry.paper_artifact}: {entry.description}")
+    if args.id == "table1":
+        print(format_table(module.HEADERS, module.rows(), title="modelled (MB/s)"))
+        print(format_table(module.HEADERS, module.paper_rows(), title="paper (MB/s)"))
+    elif args.id == "fig5":
+        print(format_table(module.HEADERS, module.rows()))
+        from .analysis.asciiplot import plot
+
+        sizes, na, s2 = module.curves()
+        print()
+        print(plot(sizes, {"NaCL": [100 * v for v in na],
+                           "Stampede2": [100 * v for v in s2]},
+                   logx=True, title="% of theoretical peak vs message size"))
+    elif args.id == "roofline":
+        print(format_table(module.HEADERS, module.rows()))
+        print(f"paper brackets: {module.PAPER}")
+    elif args.id == "fig6":
+        for setup in (NACL, STAMPEDE2):
+            print(format_table(module.HEADERS, module.rows(setup),
+                               title=f"{setup.name} (paper: "
+                                     f"{module.PAPER_OPTIMUM[setup.name]} optimal)"))
+    elif args.id == "fig7":
+        for setup in (NACL, STAMPEDE2):
+            print(format_table(module.HEADERS, module.rows(setup),
+                               title=f"{setup.name} speedups"))
+    elif args.id == "fig8":
+        for setup in (NACL, STAMPEDE2):
+            print(format_table(module.HEADERS, module.rows(setup),
+                               title=f"{setup.name}"))
+    elif args.id == "fig9":
+        print(format_table(module.HEADERS, module.rows(NACL), title="NaCL"))
+    elif args.id == "fig10":
+        exp = module.capture()
+        print(format_table(module.HEADERS, module.rows(exp)))
+        print(exp.gantt("base"))
+        print(exp.gantt("ca"))
+    elif args.id == "headlines":
+        h = module.compute()
+        print(format_table(module.HEADERS, module.rows(h)))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    problem = JacobiProblem(n=args.n, iterations=args.iterations)
+    machine = preset("nacl", nodes=args.nodes)
+    report = validate_implementations(problem, machine, tile=args.tile, steps=args.steps)
+    print(format_table(
+        ("implementation", "max |error| vs reference"),
+        [("base-parsec", report.base_error),
+         ("ca-parsec", report.ca_error),
+         ("petsc", report.petsc_error)],
+    ))
+    print("OK" if report.ok else "VALIDATION FAILED")
+    return 0 if report.ok else 1
+
+
+def _cmd_machines(_args: argparse.Namespace) -> int:
+    rows = []
+    for name, factory in PRESETS.items():
+        m = factory()
+        rows.append((
+            name, m.nodes, m.node.cores,
+            m.node.node_stream_bw / 1e9,
+            m.network.effective_bw * 8 / 1e9,
+            m.network.software_overhead * 1e6,
+        ))
+    print(format_table(
+        ("preset", "nodes", "cores", "node BW GB/s", "net eff Gb/s", "msg overhead us"),
+        rows,
+    ))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "experiment": _cmd_experiment,
+        "validate": _cmd_validate,
+        "machines": _cmd_machines,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""base-PaRSEC: the full-communication tiled stencil (section IV-B1).
+
+Data is 2D-block distributed over the node grid and tiled within each
+node; every tile carries a 1-deep ghost ring and exchanges ghost
+strips with all four neighbours *every* iteration.  Only node-boundary
+tiles generate network messages; the runtime overlaps those with
+interior-tile work (communication hiding, no avoidance).
+
+Structurally this is the ``steps=1`` instance of the shared dataflow
+in :mod:`repro.core.dataflow`.
+"""
+
+from __future__ import annotations
+
+from ..machine.machine import MachineSpec
+from ..stencil.cost import KernelCostModel
+from ..stencil.problem import JacobiProblem
+from .dataflow import BuildResult, build_stencil_graph
+from .spec import StencilSpec
+
+
+def build_base_graph(
+    problem: JacobiProblem,
+    machine: MachineSpec,
+    tile: int,
+    cost: KernelCostModel | None = None,
+    with_kernels: bool = True,
+    boundary_priority: bool = True,
+    pgrid=None,
+) -> BuildResult:
+    """Build the base-PaRSEC task graph for ``problem`` on ``machine``
+    with ``tile x tile`` tiles.  ``pgrid`` overrides the default
+    most-square node arrangement (surface-to-volume ablations)."""
+    spec = StencilSpec.create(problem, nodes=machine.nodes, tile=tile, steps=1,
+                              pgrid=pgrid)
+    return build_stencil_graph(
+        spec,
+        machine,
+        cost=cost,
+        name="base",
+        with_kernels=with_kernels,
+        boundary_priority=boundary_priority,
+    )

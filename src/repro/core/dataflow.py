@@ -1,0 +1,320 @@
+"""Build the tiled-stencil task graph (base or CA) and its kernels.
+
+One builder covers both PaRSEC implementations of the paper; the step
+size selects the scheme (``steps=1`` = base, ``steps=s`` = CA/PA1).
+Every task is keyed ``(name, i, j, t)`` with ``t = -1`` for the
+initialisation tasks that load the initial grid and publish the first
+ghost strips.
+
+Flows (all derived from :class:`~repro.core.spec.StencilSpec`, the
+single source of truth shared with the executing kernels):
+
+* ``"tile"`` -- the tile's extended array, flowing iteration to
+  iteration on the same node (0 bytes: it never moves);
+* ``"sN" / "sS" / "sW" / "sE"`` -- 1-deep local strips named by the
+  *consumer's* pad side, exchanged every iteration across local edges;
+* ``"dN" / ...`` -- s-deep remote strips, sent every ``s`` iterations
+  across node boundaries;
+* ``"cNW" / ...`` -- corner blocks for remote refreshes, named by the
+  consumer's corner (CA only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..distgrid.halo import CORNERS, SIDES, Corner, Side
+from ..distgrid.tile import TileSpec
+from ..machine.machine import MachineSpec
+from ..runtime.graph import TaskGraph
+from ..runtime.task import Flow, Task, TaskKey
+from ..stencil.cost import KernelCostModel
+from ..stencil.kernels import FLOP_PER_POINT
+from ..stencil.variable import apply_stencil_region
+from .spec import ITEMSIZE, StencilSpec
+
+#: Priority bias making node-boundary tasks run before interior ones
+#: within the same iteration, so their messages enter the network as
+#: early as possible (the communication-hiding heuristic).
+BOUNDARY_PRIORITY = 1
+
+
+def _side_tag(consumer_side: Side, deep: bool) -> str:
+    return ("d" if deep else "s") + consumer_side.name[0]
+
+
+def _corner_tag(consumer_corner: Corner) -> str:
+    return "c" + consumer_corner.name
+
+
+class StencilKernels:
+    """The executable bodies of the stencil tasks.
+
+    One instance serves every task of a graph (no per-task closures);
+    the task key supplies (i, j, t).  Payload contract: ``"tile"``
+    carries the tile's full extended array holding iteration-``t+1``
+    values on the update region and still-valid older values elsewhere.
+    """
+
+    def __init__(self, spec: StencilSpec) -> None:
+        self.spec = spec
+
+    # -- initialisation ---------------------------------------------------
+
+    def init_task(self, inputs: Mapping, task: Task) -> dict:
+        _, i, j, _ = task.key
+        spec = self.spec
+        tile = spec.tile(i, j)
+        ext = tile.alloc_ext()
+        gr, gc = tile.global_coords()
+        rs, cs = tile.core_slices()
+        ext[rs, cs] = spec.problem.initial_values(gr[rs, cs], gc[rs, cs])
+        nrows, ncols = spec.problem.shape
+        spec.problem.bc.fill_exterior(ext, tile, nrows, ncols)
+        return self._publish(ext, tile, t=-1)
+
+    # -- one stencil iteration -----------------------------------------------
+
+    def stencil_task(self, inputs: Mapping, task: Task) -> dict:
+        name, i, j, t = task.key
+        spec = self.spec
+        tile = spec.tile(i, j)
+        prev_key = (name, i, j, t - 1)
+        ext = np.array(inputs[(prev_key, "tile")])  # writable copy
+
+        # Paste incoming ghost data (iteration-t values).
+        for side in SIDES:
+            strip = spec.local_strip(tile, side, t)
+            if strip is not None:
+                producer = self._neighbor_key(name, tile, side, t - 1)
+                tile.paste(ext, strip.pad_region(tile.h, tile.w),
+                           inputs[(producer, _side_tag(side, deep=False))])
+            elif tile.remote[side] and spec.is_refresh(t):
+                deep = spec.deep_strip(tile, side)
+                producer = self._neighbor_key(name, tile, side, t - 1)
+                tile.paste(ext, deep.pad_region(tile.h, tile.w),
+                           inputs[(producer, _side_tag(side, deep=True))])
+        if spec.is_refresh(t):
+            for corner in CORNERS:
+                block = spec.corner_block(tile, corner)
+                if block is not None:
+                    producer = self._diagonal_key(name, tile, corner, t - 1)
+                    tile.paste(ext, block.pad_region(tile.h, tile.w),
+                               inputs[(producer, _corner_tag(corner))])
+
+        # Jacobi update of core + redundant halo extension.
+        region = spec.update_region(tile, t)
+        rs, cs = tile.ext_slices(region)
+        origin = (tile.r0 - tile.pads[0], tile.c0 - tile.pads[2])
+        ext[rs, cs] = apply_stencil_region(
+            ext, spec.problem.weights, rs, cs, origin=origin
+        )
+        if spec.problem.source is not None:
+            # Forcing is a global field, so redundantly updated halo
+            # cells receive exactly the same contribution their owner
+            # applies -- CA equivalence is preserved.
+            gr = np.arange(origin[0] + rs.start, origin[0] + rs.stop)
+            gc = np.arange(origin[1] + cs.start, origin[1] + cs.stop)
+            GR, GC = np.meshgrid(gr, gc, indexing="ij")
+            ext[rs, cs] += spec.problem.source_values(GR, GC)
+        return self._publish(ext, tile, t)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _neighbor_key(self, name: str, tile: TileSpec, side: Side, t: int) -> TaskKey:
+        ni, nj = self.spec.partition.neighbor(tile.i, tile.j, side)
+        return (name, ni, nj, t)
+
+    def _diagonal_key(self, name: str, tile: TileSpec, corner: Corner, t: int) -> TaskKey:
+        ni, nj = self.spec.partition.diagonal(tile.i, tile.j, corner)
+        return (name, ni, nj, t)
+
+    def _publish(self, ext: np.ndarray, tile: TileSpec, t: int) -> dict:
+        """Outputs of the task that just produced iteration ``t + 1``
+        values on ``ext``: the array itself plus every strip some
+        neighbour consumes at iteration ``t + 1``."""
+        spec = self.spec
+        outputs: dict = {"tile": ext}
+        t_next = t + 1
+        if t_next >= spec.problem.iterations:
+            return outputs
+        part = spec.partition
+        for side in SIDES:
+            nb = part.neighbor(tile.i, tile.j, side)
+            if nb is None:
+                continue
+            consumer = spec.tile(*nb)
+            cside = side.opposite  # the strip lands in this pad of the consumer
+            strip = spec.local_strip(consumer, cside, t_next)
+            if strip is not None:
+                outputs[_side_tag(cside, deep=False)] = tile.extract(
+                    ext, strip.source_region(tile.h, tile.w)
+                )
+            elif consumer.remote[cside] and spec.is_refresh(t_next):
+                deep = spec.deep_strip(consumer, cside)
+                outputs[_side_tag(cside, deep=True)] = tile.extract(
+                    ext, deep.source_region(tile.h, tile.w)
+                )
+        if spec.is_refresh(t_next):
+            for corner in CORNERS:
+                diag = part.diagonal(tile.i, tile.j, corner)
+                if diag is None:
+                    continue
+                consumer = spec.tile(*diag)
+                ccorner = corner.opposite
+                block = spec.corner_block(consumer, ccorner)
+                if block is not None:
+                    outputs[_corner_tag(ccorner)] = tile.extract(
+                        ext, block.source_region(tile.h, tile.w)
+                    )
+        return outputs
+
+
+@dataclass(frozen=True)
+class BuildResult:
+    """A built graph plus the context needed to run and interpret it."""
+
+    graph: TaskGraph
+    spec: StencilSpec
+    name: str
+
+    def final_keys(self) -> list[tuple[TaskKey, str]]:
+        """(task key, tag) pairs under which the engine's results hold
+        the final extended arrays."""
+        t_last = self.spec.problem.iterations - 1
+        return [
+            ((self.name, i, j, t_last), "tile")
+            for (i, j) in self.spec.partition.tiles()
+        ]
+
+    def assemble_grid(self, results: Mapping) -> np.ndarray:
+        """Collect the final tile cores into the global grid."""
+        nrows, ncols = self.spec.problem.shape
+        grid = np.empty((nrows, ncols))
+        for (key, tag) in self.final_keys():
+            _, i, j, _ = key
+            tile = self.spec.tile(i, j)
+            ext = results[(key, tag)]
+            rs, cs = tile.core_slices()
+            grid[tile.r0 : tile.r1, tile.c0 : tile.c1] = ext[rs, cs]
+        return grid
+
+
+def build_stencil_graph(
+    spec: StencilSpec,
+    machine: MachineSpec,
+    cost: KernelCostModel | None = None,
+    name: str = "st",
+    with_kernels: bool = True,
+    boundary_priority: bool = True,
+) -> BuildResult:
+    """Unroll the dataflow of ``spec`` into a concrete task graph.
+
+    ``with_kernels=False`` builds a timing-only graph (no numpy work),
+    which is what the benchmark sweeps use.
+    """
+    cost = cost or KernelCostModel(machine)
+    workers = machine.node.compute_cores
+    kernels = StencilKernels(spec) if with_kernels else None
+    graph = TaskGraph()
+    part = spec.partition
+    T = spec.problem.iterations
+
+    for tile in spec.tiles():
+        i, j = tile.i, tile.j
+        ext_points = tile.ext_shape()[0] * tile.ext_shape()[1]
+        ext_bytes = ext_points * ITEMSIZE
+        boundary = tile.is_boundary()
+        kind_init = "init"
+        graph.add_task(
+            (name, i, j, -1),
+            node=tile.node,
+            cost=cost.copy_cost(ext_bytes),
+            kernel=kernels.init_task if kernels else None,
+            out_nbytes={"tile": 0},
+            priority=(T + 1) * 2 + (BOUNDARY_PRIORITY if boundary else 0),
+            kind=kind_init,
+        )
+
+    # Per (tile, phase) templates: everything except the producer
+    # iteration index repeats with period `steps`, so precompute the
+    # flow shapes and costs once per phase instead of once per task.
+    # Each template entry is (ni, nj, tag, nbytes); costs/points follow.
+    stencil_kernel = kernels.stencil_task if kernels else None
+    templates: dict[tuple[int, int], list] = {}
+    for tile in spec.tiles():
+        i, j = tile.i, tile.j
+        boundary = tile.is_boundary()
+        per_phase = []
+        for phase in range(spec.steps):
+            refresh = phase == 0
+            # Ghost assembly traffic: only the strips are copies the
+            # task body pays for; the tile's own read+write is already
+            # in the kernel's bytes/point.
+            copy_bytes = 0
+            flow_templates: list[tuple[int, int, str, int]] = []
+            for side in SIDES:
+                strip = spec.local_strip(tile, side, phase)
+                if strip is not None:
+                    nb = part.neighbor(i, j, side)
+                    nbytes = spec.strip_nbytes(tile, strip)
+                    flow_templates.append((nb[0], nb[1], _side_tag(side, False), nbytes))
+                    copy_bytes += nbytes
+                elif tile.remote[side] and refresh:
+                    deep = spec.deep_strip(tile, side)
+                    nb = part.neighbor(i, j, side)
+                    nbytes = spec.strip_nbytes(tile, deep)
+                    flow_templates.append((nb[0], nb[1], _side_tag(side, True), nbytes))
+                    copy_bytes += nbytes
+            if refresh:
+                for corner in CORNERS:
+                    block = spec.corner_block(tile, corner)
+                    if block is not None:
+                        diag = part.diagonal(i, j, corner)
+                        nbytes = block.nbytes(ITEMSIZE)
+                        flow_templates.append(
+                            (diag[0], diag[1], _corner_tag(corner), nbytes)
+                        )
+                        copy_bytes += nbytes
+            core_pts, redundant_pts = spec.region_points(tile, phase)
+            ext_pts = tile.ext_shape()[0] * tile.ext_shape()[1]
+            per_phase.append(
+                (
+                    flow_templates,
+                    cost.task_cost(core_pts, redundant_pts, copy_bytes, ext_pts, workers),
+                    FLOP_PER_POINT * core_pts,
+                    FLOP_PER_POINT * redundant_pts,
+                    "boundary" if boundary else "interior",
+                    BOUNDARY_PRIORITY if boundary and boundary_priority else 0,
+                    tile.node,
+                )
+            )
+        templates[(i, j)] = per_phase
+
+    steps = spec.steps
+    for t in range(T):
+        phase = t % steps
+        prio_base = (T - t) * 2
+        for (i, j), per_phase in templates.items():
+            flow_templates, task_cost, flops, red_flops, kind, prio_bias, node = per_phase[phase]
+            flows = [Flow((name, i, j, t - 1), "tile", 0)]
+            for (ni, nj, tag, nbytes) in flow_templates:
+                flows.append(Flow((name, ni, nj, t - 1), tag, nbytes))
+            graph.add(
+                Task(
+                    (name, i, j, t),
+                    node=node,
+                    inputs=tuple(flows),
+                    cost=task_cost,
+                    flops=flops,
+                    redundant_flops=red_flops,
+                    kernel=stencil_kernel,
+                    out_nbytes={"tile": 0},
+                    priority=prio_base + prio_bias,
+                    kind=kind,
+                )
+            )
+    return BuildResult(graph=graph.finalize(validate=False), spec=spec, name=name)

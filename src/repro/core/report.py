@@ -1,0 +1,102 @@
+"""Run results: performance metrics plus (optionally) the final grid."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..machine.machine import MachineSpec
+from ..runtime.engine import EngineReport
+from ..runtime.trace import Trace
+from ..stencil.problem import JacobiProblem
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :func:`repro.core.runner.run` call.
+
+    ``elapsed`` is *virtual* (modelled) seconds; ``gflops`` divides the
+    problem's nominal useful FLOP (9 n^2 per iteration) by it, exactly
+    how the paper computes every GFLOP/s figure -- redundant CA work
+    and kernel-ratio reductions never change the numerator.
+    """
+
+    impl: str
+    problem: JacobiProblem
+    machine: MachineSpec
+    engine: EngineReport
+    params: dict[str, Any] = field(default_factory=dict)
+    grid: np.ndarray | None = None
+
+    @property
+    def elapsed(self) -> float:
+        return self.engine.elapsed
+
+    @property
+    def gflops(self) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return self.problem.total_flops / self.elapsed / 1e9
+
+    @property
+    def messages(self) -> int:
+        return self.engine.messages
+
+    @property
+    def message_bytes(self) -> int:
+        return self.engine.message_bytes
+
+    @property
+    def trace(self) -> Trace | None:
+        return self.engine.trace
+
+    @property
+    def redundant_fraction(self) -> float:
+        """Redundant FLOP as a fraction of useful FLOP (the price CA
+        pays for fewer messages)."""
+        useful = self.engine.useful_flops
+        if useful <= 0:
+            return 0.0
+        return self.engine.redundant_flops / useful
+
+    def occupancy(self) -> float:
+        """Mean compute-worker occupancy across nodes (Fig. 10's
+        comparison metric)."""
+        workers = (
+            self.machine.node.compute_cores
+            if self.params.get("overlap", True)
+            else self.machine.node.cores
+        )
+        return self.engine.occupancy(workers)
+
+    def speedup_over(self, other: "RunResult") -> float:
+        """How much faster this run is than ``other`` (elapsed ratio)."""
+        if self.elapsed <= 0:
+            return float("inf")
+        return other.elapsed / self.elapsed
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat record for tables / EXPERIMENTS.md."""
+        return {
+            "impl": self.impl,
+            "machine": self.machine.name,
+            "nodes": self.machine.nodes,
+            "n": self.problem.shape[0],
+            "iterations": self.problem.iterations,
+            **self.params,
+            "elapsed_s": self.elapsed,
+            "gflops": self.gflops,
+            "messages": self.messages,
+            "message_mb": self.message_bytes / 1e6,
+            "redundant_fraction": self.redundant_fraction,
+        }
+
+    def summary(self) -> str:
+        p = ", ".join(f"{k}={v}" for k, v in self.params.items() if v is not None)
+        return (
+            f"{self.impl} on {self.machine.name} x{self.machine.nodes} "
+            f"({p}): {self.elapsed * 1e3:.2f} ms, {self.gflops:.2f} GFLOP/s, "
+            f"{self.messages} msgs / {self.message_bytes / 1e6:.2f} MB"
+        )

@@ -1,0 +1,128 @@
+"""Unified front door: run any of the three implementations.
+
+``run(problem, impl=..., machine=..., ...)`` builds the task graph,
+executes it on the discrete-event engine and returns a
+:class:`~repro.core.report.RunResult`.  ``mode`` selects fidelity:
+
+* ``"simulate"`` -- timing-only graph (no numpy kernels), any problem
+  size: this is what the benchmark sweeps use;
+* ``"execute"`` -- real kernels on real data (small/medium problems),
+  same virtual-clock timing, plus the final grid in ``result.grid``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..machine.machine import MachineSpec, nacl
+from ..petsclite.cost import SpMVCostModel
+from ..runtime.engine import Engine
+from ..stencil.cost import KernelCostModel
+from ..stencil.problem import JacobiProblem
+from .base_parsec import build_base_graph
+from .ca_parsec import build_ca_graph
+from .petsc_jacobi import build_petsc_graph
+from .report import RunResult
+
+IMPLEMENTATIONS = ("petsc", "base-parsec", "ca-parsec")
+
+
+def default_tile(problem: JacobiProblem, machine: MachineSpec) -> int:
+    """A reasonable tile size when the caller does not tune one: aim
+    for ~25 tiles per node side-dimension-balanced, clamped to the
+    paper's sweet-spot range."""
+    import math
+
+    per_node_rows = problem.shape[0] / max(1, math.isqrt(machine.nodes))
+    guess = int(per_node_rows // 5) or 1
+    return max(1, min(guess, 1024))
+
+
+def run(
+    problem: JacobiProblem,
+    impl: str = "base-parsec",
+    machine: MachineSpec | None = None,
+    tile: int | None = None,
+    steps: int = 15,
+    ratio: float = 1.0,
+    mode: str = "simulate",
+    policy: str = "priority",
+    overlap: bool | None = None,
+    trace: bool = False,
+    boundary_priority: bool = True,
+    include_redundant: bool | None = None,
+    pgrid=None,
+) -> RunResult:
+    """Run ``problem`` with one implementation on one machine model.
+
+    Parameters mirror the paper's experiment knobs: ``tile`` (Fig. 6),
+    ``steps`` (Fig. 9, CA only), ``ratio`` (Fig. 8's kernel adjustment),
+    ``trace`` (Fig. 10).  ``overlap`` defaults to the implementation's
+    natural setting: a dedicated comm thread for the PaRSEC versions,
+    blocking worker-side MPI for PETSc.
+    """
+    machine = machine or nacl(4)
+    if mode not in ("simulate", "execute"):
+        raise ValueError('mode must be "simulate" or "execute"')
+    with_kernels = mode == "execute"
+    if impl not in IMPLEMENTATIONS:
+        raise ValueError(f"unknown impl {impl!r}; choices: {IMPLEMENTATIONS}")
+
+    params: dict[str, Any] = {"mode": mode, "policy": policy}
+    if impl == "petsc":
+        if ratio != 1.0:
+            raise ValueError("the kernel adjustment ratio applies to the "
+                             "PaRSEC versions only (paper section VI-D)")
+        overlap = False if overlap is None else overlap
+        built = build_petsc_graph(
+            problem, machine, cost=SpMVCostModel(machine), with_kernels=with_kernels
+        )
+        params.update(ranks=machine.nodes * machine.node.cores, overlap=overlap)
+    else:
+        overlap = True if overlap is None else overlap
+        tile = tile if tile is not None else default_tile(problem, machine)
+        cost = KernelCostModel(
+            machine, ratio=ratio, include_redundant=include_redundant
+        )
+        if impl == "base-parsec":
+            built = build_base_graph(
+                problem,
+                machine,
+                tile=tile,
+                cost=cost,
+                with_kernels=with_kernels,
+                boundary_priority=boundary_priority,
+                pgrid=pgrid,
+            )
+            params.update(tile=tile, ratio=ratio, overlap=overlap)
+        else:
+            built = build_ca_graph(
+                problem,
+                machine,
+                tile=tile,
+                steps=steps,
+                cost=cost,
+                with_kernels=with_kernels,
+                boundary_priority=boundary_priority,
+                pgrid=pgrid,
+            )
+            params.update(tile=tile, steps=steps, ratio=ratio, overlap=overlap)
+
+    engine = Engine(
+        built.graph,
+        machine,
+        policy=policy,
+        execute=with_kernels,
+        overlap=overlap,
+        trace=trace,
+    )
+    report = engine.run()
+    grid = built.assemble_grid(report.results) if with_kernels else None
+    return RunResult(
+        impl=impl,
+        problem=problem,
+        machine=machine,
+        engine=report,
+        params=params,
+        grid=grid,
+    )

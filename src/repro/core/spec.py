@@ -1,0 +1,197 @@
+"""Shared geometry/schedule algebra of the tiled stencil dataflow.
+
+Both PaRSEC-style implementations (base and communication-avoiding)
+are instances of one scheme, parameterized by the step size ``s``:
+
+* every tile has ghost pads: depth ``s`` on sides facing a *remote*
+  neighbour, depth 1 elsewhere (the paper's memory layout);
+* iterations are grouped in supersteps of ``s``; at iterations
+  ``t % s == 0`` remote sides receive an ``s``-deep strip from the
+  facing neighbour plus corner blocks from the diagonal neighbours
+  (PA1's replicated data);
+* at every iteration each tile updates its core *plus* ``u(t) =
+  s - 1 - (t % s)`` extra layers into each remote-side pad (the
+  redundant work that buys s-fewer messages);
+* local sides exchange 1-deep strips every iteration; those strips
+  extend ``u(t)`` cells into the remote-side pad range along the
+  perpendicular axis, because neighbours along a node edge redundantly
+  compute that halo region too.
+
+``s = 1`` degenerates exactly to the base version: pads of depth 1,
+one exchange per iteration, no redundant work and no corner blocks.
+
+Everything here is a pure function of (tile coords, side/corner,
+iteration), so the graph builder and the executing kernels derive the
+byte-identical strip shapes from one source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..distgrid.halo import SIDES, Corner, CornerSpec, Side, StripSpec
+from ..distgrid.partition import GridPartition, ProcessGrid
+from ..distgrid.tile import TileSpec
+from ..stencil.problem import JacobiProblem
+
+#: float64 payloads everywhere.
+ITEMSIZE = 8
+
+
+@dataclass(frozen=True)
+class StencilSpec:
+    """The static description one builder/kernel pair shares."""
+
+    problem: JacobiProblem
+    partition: GridPartition
+    steps: int = 1
+
+    def __post_init__(self) -> None:
+        if self.steps < 1:
+            raise ValueError("step size must be >= 1")
+        min_dim = self.partition.min_tile_dim()
+        if self.steps > min_dim:
+            raise ValueError(
+                f"step size {self.steps} exceeds the smallest tile edge "
+                f"{min_dim}; PA1 strips must come from a single tile"
+            )
+
+    @classmethod
+    def create(
+        cls,
+        problem: JacobiProblem,
+        nodes: int,
+        tile: int,
+        steps: int = 1,
+        pgrid: ProcessGrid | None = None,
+    ) -> "StencilSpec":
+        pgrid = pgrid or ProcessGrid.square(nodes)
+        nrows, ncols = problem.shape
+        partition = GridPartition(nrows, ncols, pgrid, tile)
+        return cls(problem=problem, partition=partition, steps=steps)
+
+    # -- tiles ------------------------------------------------------------
+
+    def tile(self, i: int, j: int) -> TileSpec:
+        return _tile_spec(self.partition, self.steps, i, j)
+
+    def tiles(self):
+        for (i, j) in self.partition.tiles():
+            yield self.tile(i, j)
+
+    # -- superstep schedule --------------------------------------------------
+
+    def is_refresh(self, t: int) -> bool:
+        """True when iteration ``t`` starts a superstep (remote ghost
+        data arrives before its update)."""
+        return t % self.steps == 0
+
+    def halo_extension(self, t: int) -> int:
+        """u(t): how many pad layers a tile updates into each remote
+        side at iteration ``t``."""
+        return self.steps - 1 - (t % self.steps)
+
+    def update_region(self, tile: TileSpec, t: int):
+        """Tile-relative region updated at iteration ``t``: the core
+        plus u(t) layers into every remote-side pad."""
+        u = self.halo_extension(t)
+        un = u if tile.remote[Side.NORTH] else 0
+        us = u if tile.remote[Side.SOUTH] else 0
+        uw = u if tile.remote[Side.WEST] else 0
+        ue = u if tile.remote[Side.EAST] else 0
+        return ((-un, tile.h + us), (-uw, tile.w + ue))
+
+    def region_points(self, tile: TileSpec, t: int) -> tuple[int, int]:
+        """(useful core points, redundant halo points) at iteration t."""
+        (ra, rb), (ca, cb) = self.update_region(tile, t)
+        total = (rb - ra) * (cb - ca)
+        core = tile.h * tile.w
+        return core, total - core
+
+    # -- strips ----------------------------------------------------------------
+
+    def local_strip(self, consumer: TileSpec, side: Side, t_consumer: int) -> StripSpec | None:
+        """The 1-deep strip ``consumer`` pastes into its ``side`` pad at
+        iteration ``t_consumer`` (None when that side is remote, has no
+        neighbour, or nothing flows this iteration).
+
+        At refresh iterations the strip covers the bare core span (the
+        pad's perpendicular extensions are covered by the remote corner
+        blocks); otherwise it extends u(t_consumer) cells into each
+        *remote* perpendicular pad, data the producer computed
+        redundantly at iteration ``t_consumer - 1``.
+        """
+        if consumer.remote[side] or not consumer.has_neighbor[side]:
+            return None
+        ext = 0 if self.is_refresh(t_consumer) else self.halo_extension(t_consumer)
+        if side.axis == 0:
+            perp_lo, perp_hi = Side.WEST, Side.EAST
+        else:
+            perp_lo, perp_hi = Side.NORTH, Side.SOUTH
+        return StripSpec(
+            side=side,
+            depth=1,
+            ext_lo=ext if consumer.remote[perp_lo] else 0,
+            ext_hi=ext if consumer.remote[perp_hi] else 0,
+        )
+
+    def deep_strip(self, consumer: TileSpec, side: Side) -> StripSpec | None:
+        """The s-deep remote strip pasted into ``side`` at refresh
+        iterations (None when the side is not remote)."""
+        if not consumer.remote[side]:
+            return None
+        return StripSpec(side=side, depth=self.steps)
+
+    def corner_block(self, consumer: TileSpec, corner: Corner) -> CornerSpec | None:
+        """The corner block pasted at refresh iterations (None when not
+        needed: base scheme, no diagonal tile, or neither adjacent side
+        remote)."""
+        if self.steps == 1:
+            return None
+        row_side, col_side = corner.sides
+        if not (consumer.remote[row_side] or consumer.remote[col_side]):
+            return None
+        if self.partition.diagonal(consumer.i, consumer.j, corner) is None:
+            return None
+        return CornerSpec(
+            corner=corner,
+            depth_r=consumer.pad(row_side),
+            depth_c=consumer.pad(col_side),
+        )
+
+    # -- flow sizes ---------------------------------------------------------------
+
+    def strip_nbytes(self, consumer: TileSpec, strip: StripSpec) -> int:
+        return strip.nbytes(consumer.h, consumer.w, ITEMSIZE)
+
+    # -- totals (for reports / sanity checks) -----------------------------------
+
+    def counts(self) -> dict[str, int]:
+        stats = self.partition.counts()
+        stats["steps"] = self.steps
+        stats["iterations"] = self.problem.iterations
+        return stats
+
+
+@lru_cache(maxsize=262144)
+def _tile_spec(partition: GridPartition, steps: int, i: int, j: int) -> TileSpec:
+    """Build the TileSpec for global tile (i, j): pads of depth
+    ``steps`` on remote sides, 1 elsewhere."""
+    r0, r1 = partition.tile_rows(i)
+    c0, c1 = partition.tile_cols(j)
+    remote = tuple(partition.is_remote(i, j, s) for s in SIDES)
+    has_neighbor = tuple(partition.neighbor(i, j, s) is not None for s in SIDES)
+    pads = tuple(steps if remote[s] else 1 for s in SIDES)
+    return TileSpec(
+        i=i,
+        j=j,
+        r0=r0,
+        r1=r1,
+        c0=c0,
+        c1=c1,
+        node=partition.owner(i, j),
+        pads=pads,
+        remote=remote,
+        has_neighbor=has_neighbor,
+    )

@@ -1,0 +1,24 @@
+"""Distributed 2D grid substrate: process grids, block partitions,
+tiles with ghost pads, halo-strip geometry and boundary conditions."""
+
+from .boundary import DirichletBC
+from .halo import CORNERS, SIDES, Corner, CornerSpec, Side, StripSpec, corner_of
+from .partition import GridPartition, ProcessGrid, even_split, tile_split
+from .tile import Region, TileSpec
+
+__all__ = [
+    "CORNERS",
+    "Corner",
+    "CornerSpec",
+    "DirichletBC",
+    "GridPartition",
+    "ProcessGrid",
+    "Region",
+    "SIDES",
+    "Side",
+    "StripSpec",
+    "TileSpec",
+    "corner_of",
+    "even_split",
+    "tile_split",
+]

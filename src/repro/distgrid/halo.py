@@ -1,0 +1,202 @@
+"""Sides, corners and halo-strip geometry.
+
+Conventions used throughout the package:
+
+* axis 0 is rows, axis 1 is columns;
+* NORTH is decreasing row index, WEST is decreasing column index;
+* a tile's *core* is the region of the global grid it owns; its
+  *extended array* adds per-side pads (ghost layers).
+
+A :class:`StripSpec` describes a rectangular halo piece in coordinates
+relative to a tile's core: depth into the pad on one side, and an
+extension range along the perpendicular axis (CA strips extend past
+the core to cover redundantly-computed halo cells).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class Side(IntEnum):
+    """The four faces of a tile."""
+
+    NORTH = 0
+    SOUTH = 1
+    WEST = 2
+    EAST = 3
+
+    @property
+    def axis(self) -> int:
+        """0 for north/south (rows), 1 for west/east (columns)."""
+        return 0 if self in (Side.NORTH, Side.SOUTH) else 1
+
+    @property
+    def is_low(self) -> bool:
+        """True when the side faces decreasing index (north, west)."""
+        return self in (Side.NORTH, Side.WEST)
+
+    @property
+    def opposite(self) -> "Side":
+        return _OPPOSITE[self]
+
+    @property
+    def offset(self) -> tuple[int, int]:
+        """(di, dj) step toward the neighbour across this side."""
+        return _OFFSET[self]
+
+
+_OPPOSITE = {
+    Side.NORTH: Side.SOUTH,
+    Side.SOUTH: Side.NORTH,
+    Side.WEST: Side.EAST,
+    Side.EAST: Side.WEST,
+}
+
+_OFFSET = {
+    Side.NORTH: (-1, 0),
+    Side.SOUTH: (1, 0),
+    Side.WEST: (0, -1),
+    Side.EAST: (0, 1),
+}
+
+SIDES = (Side.NORTH, Side.SOUTH, Side.WEST, Side.EAST)
+
+
+class Corner(IntEnum):
+    """The four corners, named by their two adjacent sides."""
+
+    NW = 0
+    NE = 1
+    SW = 2
+    SE = 3
+
+    @property
+    def sides(self) -> tuple[Side, Side]:
+        """(row side, column side) of this corner."""
+        return _CORNER_SIDES[self]
+
+    @property
+    def offset(self) -> tuple[int, int]:
+        (rs, cs) = self.sides
+        return (rs.offset[0], cs.offset[1])
+
+    @property
+    def opposite(self) -> "Corner":
+        """The diagonally mirrored corner (NW <-> SE, NE <-> SW)."""
+        return _OPPOSITE_CORNER[self]
+
+
+_CORNER_SIDES = {
+    Corner.NW: (Side.NORTH, Side.WEST),
+    Corner.NE: (Side.NORTH, Side.EAST),
+    Corner.SW: (Side.SOUTH, Side.WEST),
+    Corner.SE: (Side.SOUTH, Side.EAST),
+}
+
+_OPPOSITE_CORNER = {
+    Corner.NW: Corner.SE,
+    Corner.NE: Corner.SW,
+    Corner.SW: Corner.NE,
+    Corner.SE: Corner.NW,
+}
+
+CORNERS = (Corner.NW, Corner.NE, Corner.SW, Corner.SE)
+
+
+def corner_of(row_side: Side, col_side: Side) -> Corner:
+    """The corner adjacent to ``row_side`` (N/S) and ``col_side`` (W/E)."""
+    if row_side.axis != 0 or col_side.axis != 1:
+        raise ValueError("corner_of expects (north/south, west/east)")
+    return {
+        (Side.NORTH, Side.WEST): Corner.NW,
+        (Side.NORTH, Side.EAST): Corner.NE,
+        (Side.SOUTH, Side.WEST): Corner.SW,
+        (Side.SOUTH, Side.EAST): Corner.SE,
+    }[(row_side, col_side)]
+
+
+@dataclass(frozen=True)
+class StripSpec:
+    """One halo strip on ``side``, ``depth`` layers deep, spanning the
+    perpendicular axis from ``-ext_lo`` before the core to
+    ``core + ext_hi`` after it (both in grid cells).
+
+    The same spec describes the *pad region* in the consumer's extended
+    array and the *source region* inside the producer's extended array
+    (mirrored across the shared face), which is what keeps producers
+    and consumers bit-consistent.
+    """
+
+    side: Side
+    depth: int
+    ext_lo: int = 0
+    ext_hi: int = 0
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError("strip depth must be >= 1")
+        if self.ext_lo < 0 or self.ext_hi < 0:
+            raise ValueError("strip extensions cannot be negative")
+
+    def nbytes(self, core_h: int, core_w: int, itemsize: int = 8) -> int:
+        """Payload size given the *consumer-side* core shape."""
+        span = (core_h if self.side.axis == 1 else core_w) + self.ext_lo + self.ext_hi
+        return self.depth * span * itemsize
+
+    def pad_region(self, core_h: int, core_w: int) -> tuple[tuple[int, int], tuple[int, int]]:
+        """The target region in consumer-relative coordinates: ((r0, r1),
+        (c0, c1)), where core cells are rows [0, h) x cols [0, w) and
+        pads are negative / beyond."""
+        if self.side.axis == 0:
+            rows = (-self.depth, 0) if self.side.is_low else (core_h, core_h + self.depth)
+            cols = (-self.ext_lo, core_w + self.ext_hi)
+        else:
+            cols = (-self.depth, 0) if self.side.is_low else (core_w, core_w + self.depth)
+            rows = (-self.ext_lo, core_h + self.ext_hi)
+        return rows, cols
+
+    def source_region(self, prod_h: int, prod_w: int) -> tuple[tuple[int, int], tuple[int, int]]:
+        """The matching source region in *producer*-relative coordinates
+        (the producer sits across ``side``; facing tiles share the
+        perpendicular index range, so extensions carry over as-is)."""
+        if self.side.axis == 0:
+            # Consumer's north pad = producer's southmost `depth` rows.
+            rows = (prod_h - self.depth, prod_h) if self.side.is_low else (0, self.depth)
+            cols = (-self.ext_lo, prod_w + self.ext_hi)
+        else:
+            cols = (prod_w - self.depth, prod_w) if self.side.is_low else (0, self.depth)
+            rows = (-self.ext_lo, prod_h + self.ext_hi)
+        return rows, cols
+
+
+@dataclass(frozen=True)
+class CornerSpec:
+    """A corner block: ``depth_r`` rows x ``depth_c`` cols diagonally
+    adjacent to the core at ``corner``."""
+
+    corner: Corner
+    depth_r: int
+    depth_c: int
+
+    def __post_init__(self) -> None:
+        if self.depth_r < 1 or self.depth_c < 1:
+            raise ValueError("corner depths must be >= 1")
+
+    def nbytes(self, itemsize: int = 8) -> int:
+        return self.depth_r * self.depth_c * itemsize
+
+    def pad_region(self, core_h: int, core_w: int) -> tuple[tuple[int, int], tuple[int, int]]:
+        rs, cs = self.corner.sides
+        rows = (-self.depth_r, 0) if rs.is_low else (core_h, core_h + self.depth_r)
+        cols = (-self.depth_c, 0) if cs.is_low else (core_w, core_w + self.depth_c)
+        return rows, cols
+
+    def source_region(self, prod_h: int, prod_w: int) -> tuple[tuple[int, int], tuple[int, int]]:
+        """Matching region inside the diagonal producer's core: the
+        block hugging the opposite corner."""
+        rs, cs = self.corner.sides
+        rows = (prod_h - self.depth_r, prod_h) if rs.is_low else (0, self.depth_r)
+        cols = (prod_w - self.depth_c, prod_w) if cs.is_low else (0, self.depth_c)
+        return rows, cols

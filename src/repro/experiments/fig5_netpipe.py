@@ -1,0 +1,52 @@
+"""Fig. 5: NetPIPE achieved network bandwidth vs message size.
+
+Regenerates the two curves (NaCL over IB QDR, Stampede2 over
+Omni-Path) as fraction-of-theoretical-peak series, plus the numbers
+quoted in the text: effective peaks of ~27 and ~86 Gb/s, ~1 us
+latency, and the bandwidth-efficiency jump (~20 % -> ~70 % of peak)
+that aggregating s iterations of ghost data buys the CA scheme.
+"""
+
+from __future__ import annotations
+
+from ..machine import units
+from ..machine.machine import MachineSpec, nacl, stampede2
+from ..machine.netpipe import model_curve
+
+HEADERS = ("Message size (B)", "NaCL (% of 32 Gb/s)", "Stampede2 (% of 100 Gb/s)")
+
+
+def curves(min_bytes: int = 256, max_bytes: int = 4 * 1024 * 1024):
+    """(sizes, nacl_fractions, stampede2_fractions)."""
+    na = model_curve(nacl().network, min_bytes, max_bytes)
+    s2 = model_curve(stampede2().network, min_bytes, max_bytes)
+    sizes = [p.nbytes for p in na]
+    return sizes, [p.fraction_of_peak for p in na], [p.fraction_of_peak for p in s2]
+
+
+def rows() -> list[tuple]:
+    sizes, na, s2 = curves()
+    return [(n, 100 * a, 100 * b) for n, a, b in zip(sizes, na, s2)]
+
+
+def effective_peaks_gbit() -> tuple[float, float]:
+    """Modelled saturated bandwidths, Gb/s (paper: ~27, ~86)."""
+    return (
+        units.to_gbit_s(nacl().network.effective_bw),
+        units.to_gbit_s(stampede2().network.effective_bw),
+    )
+
+
+def message_aggregation_gain(machine: MachineSpec, tile: int, steps: int) -> dict:
+    """The conclusion's bandwidth-efficiency argument: a base ghost
+    strip (tile edge doubles) vs a CA superstep message (steps x edge),
+    as fractions of peak bandwidth."""
+    net = machine.network
+    base_msg = tile * 8
+    ca_msg = steps * tile * 8
+    return {
+        "base_bytes": base_msg,
+        "ca_bytes": ca_msg,
+        "base_fraction_of_peak": net.fraction_of_peak(base_msg),
+        "ca_fraction_of_peak": net.fraction_of_peak(ca_msg),
+    }

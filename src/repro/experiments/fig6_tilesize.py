@@ -1,0 +1,63 @@
+"""Fig. 6: single-node base-PaRSEC GFLOP/s vs tile size.
+
+The paper sweeps tile sizes on one node (no network) to pick the
+range used by all distributed runs: 200-300 on NaCL (~11 GFLOP/s) and
+400-2000 on Stampede2 (~43.5 GFLOP/s).  Small tiles drown in per-task
+overhead; oversized tiles starve the workers (fewer tiles than cores)
+-- both effects emerge from the engine rather than being hard-coded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.runner import run
+from .common import MachineSetup, NACL, STAMPEDE2, full_mode
+
+HEADERS = ("Tile size", "GFLOP/s")
+
+#: Paper sweep ranges; the scaled CI sweep skips the tiniest tiles
+#: (hundreds of thousands of tasks) but keeps the optimum bracketed.
+FULL_TILES = {
+    "NaCL": (50, 100, 200, 288, 300, 400, 500, 700, 1000),
+    "Stampede2": (100, 200, 400, 600, 864, 1000, 1500, 2000, 2500, 3000, 3500),
+}
+SCALED_TILES = {
+    "NaCL": (100, 200, 288, 400, 700, 1250, 2000),
+    "Stampede2": (100, 400, 864, 1500, 2500, 4608),
+}
+
+#: The paper's measured plateaus (GFLOP/s) and optimal ranges.
+PAPER_PLATEAU = {"NaCL": 11.0, "Stampede2": 43.5}
+PAPER_OPTIMUM = {"NaCL": (200, 300), "Stampede2": (400, 2000)}
+
+
+@dataclass(frozen=True)
+class TilePoint:
+    tile: int
+    gflops: float
+    tasks: int
+
+
+def sweep(setup: MachineSetup) -> list[TilePoint]:
+    """Run the single-node tile sweep for one machine."""
+    tiles = (FULL_TILES if full_mode() else SCALED_TILES)[setup.name]
+    problem = setup.tuning_problem()
+    machine = setup.machine(nodes=1)
+    points = []
+    for tile in tiles:
+        res = run(problem, impl="base-parsec", machine=machine, tile=tile, mode="simulate")
+        points.append(TilePoint(tile=tile, gflops=res.gflops, tasks=res.engine.tasks_run))
+    return points
+
+
+def best(points: list[TilePoint]) -> TilePoint:
+    return max(points, key=lambda p: p.gflops)
+
+
+def rows(setup: MachineSetup) -> list[tuple]:
+    return [(p.tile, p.gflops) for p in sweep(setup)]
+
+
+def both() -> dict[str, list[TilePoint]]:
+    return {s.name: sweep(s) for s in (NACL, STAMPEDE2)}

@@ -1,0 +1,87 @@
+"""Fig. 7: strong-scaling speedup of PETSc vs base vs CA PaRSEC.
+
+Speedup is measured against the optimal single-node base-PaRSEC run
+(the paper's baseline).  The paper's findings, which the model
+reproduces in shape: all three scale; the two PaRSEC versions sit ~2x
+above PETSc (the SpMV index-traffic tax); base and CA are nearly
+indistinguishable because the full-speed kernel keeps every run
+memory-bound, not network-bound.
+
+NaCL: 23040^2 grid, tile 288; Stampede2: 55296^2, tile 864; CA step
+size 15; paper runs 100 iterations (REPRO_FULL=1), scaled runs fewer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.runner import run
+from .common import MachineSetup, NODE_COUNTS
+
+HEADERS = ("Nodes", "PETSc", "base-PaRSEC", "CA-PaRSEC")
+
+#: The paper's qualitative targets checked by the bench: PaRSEC ~2x
+#: PETSc throughout, base ~= CA (within a few percent).
+PAPER_PARSEC_OVER_PETSC = 2.0
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    nodes: int
+    impl: str
+    gflops: float
+    elapsed: float
+    speedup: float  # over the 1-node base-PaRSEC baseline
+
+
+def baseline_gflops(setup: MachineSetup) -> float:
+    """Optimal single-node base-PaRSEC performance (Fig. 6's pick)."""
+    res = run(
+        setup.problem(),
+        impl="base-parsec",
+        machine=setup.machine(1),
+        tile=setup.tile,
+        mode="simulate",
+    )
+    return res.gflops
+
+
+def sweep(setup: MachineSetup, node_counts=NODE_COUNTS) -> list[ScalingPoint]:
+    base = baseline_gflops(setup)
+    points = []
+    for nodes in node_counts:
+        machine = setup.machine(nodes)
+        for impl, kwargs in (
+            ("petsc", {}),
+            ("base-parsec", {"tile": setup.tile}),
+            ("ca-parsec", {"tile": setup.tile, "steps": setup.steps}),
+        ):
+            res = run(setup.problem(), impl=impl, machine=machine, mode="simulate", **kwargs)
+            points.append(
+                ScalingPoint(
+                    nodes=nodes,
+                    impl=impl,
+                    gflops=res.gflops,
+                    elapsed=res.elapsed,
+                    speedup=res.gflops / base,
+                )
+            )
+    return points
+
+
+def rows(setup: MachineSetup, node_counts=NODE_COUNTS) -> list[tuple]:
+    points = sweep(setup, node_counts)
+    out = []
+    for nodes in node_counts:
+        by_impl = {p.impl: p.speedup for p in points if p.nodes == nodes}
+        out.append((nodes, by_impl["petsc"], by_impl["base-parsec"], by_impl["ca-parsec"]))
+    return out
+
+
+def parsec_over_petsc(points: list[ScalingPoint]) -> list[float]:
+    """base-PaRSEC / PETSc throughput ratio per node count."""
+    ratios = []
+    for nodes in sorted({p.nodes for p in points}):
+        by_impl = {p.impl: p.gflops for p in points if p.nodes == nodes}
+        ratios.append(by_impl["base-parsec"] / by_impl["petsc"])
+    return ratios

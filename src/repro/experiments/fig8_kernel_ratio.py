@@ -1,0 +1,91 @@
+"""Fig. 8: tuned-kernel performance -- base vs CA across adjustment
+ratios and node counts.
+
+The kernel adjustment ratio r updates only an (r*mb) x (r*nb) portion
+of each tile, emulating machines with much faster memory; GFLOP/s is
+still computed against the *nominal* 9 n^2 FLOP (which is why the
+y-axis exceeds the hardware's arithmetic peak).  As r shrinks, the
+network becomes the bottleneck and the CA version pulls ahead -- up to
+~57 % on 16 NaCL nodes (and ~33 % on Stampede2 at scale); the black
+reference line is the base version with the original (r = 1) kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.runner import run
+from .common import MachineSetup, NODE_COUNTS, RATIOS
+
+HEADERS = ("Nodes", "Ratio", "base GFLOP/s", "CA GFLOP/s", "CA gain")
+
+
+@dataclass(frozen=True)
+class RatioPoint:
+    nodes: int
+    ratio: float
+    base_gflops: float
+    ca_gflops: float
+
+    @property
+    def gain(self) -> float:
+        """CA improvement over base (the paper's headline percentage)."""
+        if self.base_gflops <= 0:
+            return 0.0
+        return self.ca_gflops / self.base_gflops - 1.0
+
+
+def sweep(
+    setup: MachineSetup,
+    node_counts=NODE_COUNTS,
+    ratios=RATIOS,
+    steps: int | None = None,
+) -> list[RatioPoint]:
+    steps = steps or setup.steps
+    problem = setup.problem()
+    points = []
+    for nodes in node_counts:
+        machine = setup.machine(nodes)
+        for ratio in ratios:
+            base = run(
+                problem, impl="base-parsec", machine=machine,
+                tile=setup.tile, ratio=ratio, mode="simulate",
+            )
+            ca = run(
+                problem, impl="ca-parsec", machine=machine,
+                tile=setup.tile, steps=steps, ratio=ratio, mode="simulate",
+            )
+            points.append(
+                RatioPoint(
+                    nodes=nodes, ratio=ratio,
+                    base_gflops=base.gflops, ca_gflops=ca.gflops,
+                )
+            )
+    return points
+
+
+def reference_line(setup: MachineSetup, node_counts=NODE_COUNTS) -> dict[int, float]:
+    """The black line of Fig. 8: base version with the original
+    (unadjusted) kernel, per node count."""
+    out = {}
+    for nodes in node_counts:
+        res = run(
+            setup.problem(), impl="base-parsec", machine=setup.machine(nodes),
+            tile=setup.tile, ratio=1.0, mode="simulate",
+        )
+        out[nodes] = res.gflops
+    return out
+
+
+def rows(setup: MachineSetup, node_counts=NODE_COUNTS, ratios=RATIOS) -> list[tuple]:
+    return [
+        (p.nodes, p.ratio, p.base_gflops, p.ca_gflops, f"{p.gain:+.0%}")
+        for p in sweep(setup, node_counts, ratios)
+    ]
+
+
+def best_gain(points: list[RatioPoint], nodes: int | None = None) -> RatioPoint:
+    """The point with the largest CA improvement (optionally per node
+    count) -- the source of the 57 % / 33 % headlines."""
+    pool = [p for p in points if nodes is None or p.nodes == nodes]
+    return max(pool, key=lambda p: p.gain)

@@ -1,0 +1,70 @@
+"""Fig. 9: CA step-size tuning across kernel ratios.
+
+The step size controls how often boundary tiles communicate, the
+message sizes and the redundant-work volume; the paper's point is
+that the optimum must be searched ("if communication avoiding scheme
+can improve performance over the base version, the step size needs to
+be tuned").  This experiment sweeps s in {5, 15, 25, 40} against the
+kernel ratios, on each node count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.runner import run
+from .common import MachineSetup, NODE_COUNTS, RATIOS, STEP_SIZES, full_mode
+
+HEADERS = ("Nodes", "Ratio", *(f"s={s}" for s in STEP_SIZES))
+
+
+@dataclass(frozen=True)
+class StepPoint:
+    nodes: int
+    ratio: float
+    steps: int
+    gflops: float
+
+
+def sweep(
+    setup: MachineSetup,
+    node_counts=None,
+    ratios=RATIOS,
+    step_sizes=STEP_SIZES,
+) -> list[StepPoint]:
+    if node_counts is None:
+        # The scaled run sweeps the 16-node panel (the paper's focus);
+        # REPRO_FULL covers all three panels.
+        node_counts = NODE_COUNTS if full_mode() else (16,)
+    problem = setup.problem()
+    points = []
+    for nodes in node_counts:
+        machine = setup.machine(nodes)
+        for ratio in ratios:
+            for s in step_sizes:
+                res = run(
+                    problem, impl="ca-parsec", machine=machine,
+                    tile=setup.tile, steps=s, ratio=ratio, mode="simulate",
+                )
+                points.append(StepPoint(nodes=nodes, ratio=ratio, steps=s, gflops=res.gflops))
+    return points
+
+
+def rows(setup: MachineSetup, **kwargs) -> list[tuple]:
+    points = sweep(setup, **kwargs)
+    out = []
+    for nodes in sorted({p.nodes for p in points}):
+        for ratio in sorted({p.ratio for p in points}):
+            row = [nodes, ratio]
+            for s in STEP_SIZES:
+                match = [p for p in points if p.nodes == nodes and p.ratio == ratio and p.steps == s]
+                row.append(match[0].gflops if match else float("nan"))
+            out.append(tuple(row))
+    return out
+
+
+def optimal_step(points: list[StepPoint], nodes: int, ratio: float) -> StepPoint:
+    pool = [p for p in points if p.nodes == nodes and p.ratio == ratio]
+    if not pool:
+        raise KeyError(f"no points for nodes={nodes}, ratio={ratio}")
+    return max(pool, key=lambda p: p.gflops)

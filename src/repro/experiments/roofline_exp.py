@@ -1,0 +1,44 @@
+"""Section VI-A numbers: achieved bandwidth and roofline brackets.
+
+The text derives, from STREAM COPY and the stencil's arithmetic
+intensity of 0.37-0.56 FLOP/B, effective single-node peaks of
+14.5-21.9 GFLOP/s (NaCL) and 63.8-96.6 GFLOP/s (Stampede2).  The
+model's brackets land within rounding of those (the paper rounds the
+achieved bandwidths to 39.1 / 172.5 GB/s before multiplying).
+"""
+
+from __future__ import annotations
+
+from ..machine.machine import nacl, stampede2
+from ..machine.roofline import AI_HIGH, AI_LOW, stencil_peak_range
+
+HEADERS = ("System", "BW (GB/s)", "AI low", "AI high", "Peak low (GF/s)", "Peak high (GF/s)")
+
+#: The brackets printed in the paper.
+PAPER = {"NaCL": (14.5, 21.9), "Stampede2": (63.8, 96.6)}
+
+
+def rows() -> list[tuple]:
+    out = []
+    for machine in (nacl(), stampede2()):
+        lo, hi = stencil_peak_range(machine.node)
+        out.append(
+            (
+                machine.name,
+                machine.node.node_stream_bw / 1e9,
+                AI_LOW,
+                AI_HIGH,
+                lo / 1e9,
+                hi / 1e9,
+            )
+        )
+    return out
+
+
+def max_relative_error() -> float:
+    worst = 0.0
+    for row in rows():
+        lo_paper, hi_paper = PAPER[row[0]]
+        worst = max(worst, abs(row[4] - lo_paper) / lo_paper)
+        worst = max(worst, abs(row[5] - hi_paper) / hi_paper)
+    return worst

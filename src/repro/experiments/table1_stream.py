@@ -1,0 +1,47 @@
+"""Table I: STREAM bandwidths (MB/s) for NaCL and Stampede2.
+
+Regenerates the four rows of the paper's Table I from the machine
+models (which are calibrated to it -- this experiment closes the
+loop and asserts the calibration), and optionally appends a measured
+row for the current host.
+"""
+
+from __future__ import annotations
+
+from ..machine.machine import nacl, stampede2
+from ..machine.stream import PAPER_TABLE1, model, run_host
+
+HEADERS = ("System", "Scale", "COPY", "SCALE", "ADD", "TRIAD")
+
+
+def rows(include_host: bool = False, host_elements: int = 2_000_000) -> list[tuple]:
+    """The Table I rows (modelled), optionally plus this host."""
+    out = []
+    for machine, scale in (
+        (nacl(), "1-core"),
+        (nacl(), "1-node"),
+        (stampede2(), "1-core"),
+        (stampede2(), "1-node"),
+    ):
+        out.append(model(machine.node, scale, system=machine.name).as_row())
+    if include_host:
+        out.append(run_host(elements=host_elements, system="host").as_row())
+    return out
+
+
+def paper_rows() -> list[tuple]:
+    """The values printed in the paper, for side-by-side comparison."""
+    out = []
+    for (system, scale), modes in PAPER_TABLE1.items():
+        out.append((system, scale, modes["COPY"], modes["SCALE"], modes["ADD"], modes["TRIAD"]))
+    return out
+
+
+def max_relative_error() -> float:
+    """Largest relative deviation between model and paper across every
+    cell of Table I -- the calibration quality metric."""
+    worst = 0.0
+    for modelled, paper in zip(rows(), paper_rows()):
+        for got, want in zip(modelled[2:], paper[2:]):
+            worst = max(worst, abs(got - want) / want)
+    return worst

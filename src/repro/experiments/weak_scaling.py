@@ -1,0 +1,75 @@
+"""Weak scaling (extension -- not a paper figure).
+
+The paper evaluates strong scaling only; a natural companion question
+is weak scaling: fix the per-node workload and grow the machine.  The
+surface-to-volume ratio per node is then constant, so an ideal run
+holds per-iteration time flat, and any droop isolates communication
+effects (more neighbours exchanging simultaneously, never more work
+per node).  Useful for sanity-checking the machine model and as a
+harness users with different workloads will reach for.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.runner import run
+from ..stencil.problem import JacobiProblem
+from .common import MachineSetup, NACL, iterations
+
+HEADERS = ("Nodes", "Grid", "base GFLOP/s", "CA GFLOP/s", "base eff.", "CA eff.")
+
+
+@dataclass(frozen=True)
+class WeakPoint:
+    nodes: int
+    n: int
+    base_gflops: float
+    ca_gflops: float
+    base_efficiency: float  # vs perfectly scaled 1-node throughput
+    ca_efficiency: float
+
+
+def sweep(
+    setup: MachineSetup = NACL,
+    per_node_tiles: int = 5,
+    node_counts=(1, 4, 16, 64),
+    ratio: float = 1.0,
+) -> list[WeakPoint]:
+    """Per node: a (per_node_tiles x tile)^2 block, so the global grid
+    grows with sqrt(nodes)."""
+    tile = setup.tile
+    its = iterations()
+    base1 = ca1 = None
+    points = []
+    for nodes in node_counts:
+        side = int(math.isqrt(nodes))
+        if side * side != nodes:
+            raise ValueError("weak scaling sweep wants square node counts")
+        n = side * per_node_tiles * tile
+        problem = JacobiProblem(n=n, iterations=its)
+        machine = setup.machine(nodes)
+        base = run(problem, impl="base-parsec", machine=machine, tile=tile,
+                   ratio=ratio, mode="simulate")
+        ca = run(problem, impl="ca-parsec", machine=machine, tile=tile,
+                 steps=setup.steps, ratio=ratio, mode="simulate")
+        if base1 is None:
+            base1, ca1 = base.gflops, ca.gflops
+        points.append(WeakPoint(
+            nodes=nodes,
+            n=n,
+            base_gflops=base.gflops,
+            ca_gflops=ca.gflops,
+            base_efficiency=base.gflops / (nodes * base1),
+            ca_efficiency=ca.gflops / (nodes * ca1),
+        ))
+    return points
+
+
+def rows(points: list[WeakPoint]) -> list[tuple]:
+    return [
+        (p.nodes, f"{p.n}^2", p.base_gflops, p.ca_gflops,
+         f"{p.base_efficiency:.0%}", f"{p.ca_efficiency:.0%}")
+        for p in points
+    ]

@@ -1,0 +1,49 @@
+"""Machine models: nodes, networks, rooflines, STREAM and NetPIPE.
+
+The paper reduces its two clusters to a handful of measured parameters
+(Table I, Fig. 5); this package captures those parameters as
+:class:`~repro.machine.machine.MachineSpec` presets and provides the
+models (roofline, alpha-beta network) the evaluation is built on.
+"""
+
+from . import units
+from .machine import MachineSpec, nacl, preset, stampede2, summit_like
+from .network import NetworkSpec
+from .node import NodeSpec
+from .roofline import (
+    AI_HIGH,
+    AI_LOW,
+    FLOP_PER_POINT,
+    RooflinePoint,
+    attainable,
+    node_attainable,
+    ridge_point,
+    stencil_peak_range,
+)
+from .stream import StreamResult, model as stream_model, run_host as stream_run_host
+from .netpipe import NetpipePoint, model_curve as netpipe_model, run_host_loopback
+
+__all__ = [
+    "AI_HIGH",
+    "AI_LOW",
+    "FLOP_PER_POINT",
+    "MachineSpec",
+    "NetpipePoint",
+    "NetworkSpec",
+    "NodeSpec",
+    "RooflinePoint",
+    "StreamResult",
+    "attainable",
+    "nacl",
+    "netpipe_model",
+    "node_attainable",
+    "preset",
+    "ridge_point",
+    "run_host_loopback",
+    "stampede2",
+    "stencil_peak_range",
+    "stream_model",
+    "stream_run_host",
+    "summit_like",
+    "units",
+]

@@ -1,0 +1,160 @@
+"""Whole-machine description and the two paper machines as presets.
+
+A :class:`MachineSpec` bundles a node model, a network model and a node
+count.  The two presets, :func:`nacl` and :func:`stampede2`, are
+calibrated exclusively from numbers printed in the paper (Table I,
+Fig. 5, section VI hardware description) so that the benchmark harness
+regenerates the paper's environment rather than this host's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from . import units
+from .network import NetworkSpec
+from .node import NodeSpec
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A cluster: ``nodes`` identical :class:`NodeSpec` nodes connected
+    by a :class:`NetworkSpec` interconnect."""
+
+    name: str
+    nodes: int
+    node: NodeSpec
+    network: NetworkSpec
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("a machine needs at least one node")
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.node.cores
+
+    def with_nodes(self, nodes: int) -> "MachineSpec":
+        """Same machine restricted/extended to ``nodes`` nodes (strong
+        scaling sweeps)."""
+        return replace(self, nodes=nodes)
+
+    def local_copy_time(self, nbytes: float) -> float:
+        """Time to memcpy ``nbytes`` within a node (ghost exchange
+        between two tiles on the same node).  A copy reads and writes
+        every byte, hence the factor 2 over the STREAM COPY rate."""
+        if nbytes < 0:
+            raise ValueError("copy size cannot be negative")
+        return 2.0 * nbytes / self.node.core_stream_bw
+
+
+def nacl(nodes: int = 64) -> MachineSpec:
+    """The NaCL cluster: 64 nodes, 2x Intel Xeon X5660 (Westmere,
+    2.8 GHz, 6 cores each), 23 GB/node, InfiniBand QDR.
+
+    STREAM COPY: 9 814.2 MB/s (1 core), 40 091.3 MB/s (1 node)
+    (Table I); NetPIPE effective peak ~27 Gb/s of 32 Gb/s theoretical,
+    ~1 us latency (Fig. 5 and section VI-A).
+    """
+    node = NodeSpec(
+        name="NaCL node (2x Xeon X5660)",
+        cores=12,
+        core_stream_bw=units.mb_s(9814.2),
+        node_stream_bw=units.mb_s(40091.3),
+        # Westmere: 2 FLOP/cycle SSE2 FMA-less double pipe x 2 ports.
+        core_peak_flops=units.gflops(2.8 * 4),
+        memory_bytes=23 * units.GB,
+        l3_bytes=2 * 12 * units.MB,
+        task_overhead=12 * units.MICROSECOND,
+        kernel_efficiency=0.61,
+    )
+    network = NetworkSpec(
+        name="InfiniBand QDR",
+        peak_bw=units.gbit_s(32.0),
+        effective_bw=units.gbit_s(27.0),
+        latency=units.usec(1.0),
+        # Calibrated so the CA gain at 16 nodes / ratio 0.2 lands on the
+        # paper's 57% (section VI-D); see EXPERIMENTS.md for the fit.
+        software_overhead=units.usec(20.0),
+        half_bw_size=8 * units.KB,
+    )
+    return MachineSpec(name="NaCL", nodes=nodes, node=node, network=network)
+
+
+def stampede2(nodes: int = 64) -> MachineSpec:
+    """The TACC Stampede2 SKX partition: 2x Intel Xeon Platinum 8160
+    (Skylake, 2.1 GHz, 24 cores each), 192 GB/node, 100 Gb/s Omni-Path.
+
+    STREAM COPY: 10 632.6 MB/s (1 core), 176 701.1 MB/s (1 node)
+    (Table I); NetPIPE effective peak ~86 Gb/s, ~1 us latency.
+    """
+    node = NodeSpec(
+        name="Stampede2 SKX node (2x Xeon Platinum 8160)",
+        cores=48,
+        core_stream_bw=units.mb_s(10632.6),
+        node_stream_bw=units.mb_s(176701.1),
+        # Skylake-SP: AVX-512, 2 FMA units -> 32 FLOP/cycle.
+        core_peak_flops=units.gflops(2.1 * 32),
+        memory_bytes=192 * units.GB,
+        # Spill model disabled (l3=0): SKX sustains its STREAM-rate sweep
+        # for every tile size in the paper's range -- Fig. 6 shows a flat
+        # 43.5 GFLOP/s plateau from 400 to 2000, with the right-side drop
+        # coming from task starvation (27k/3000 -> 81 tiles < 48 cores).
+        l3_bytes=0.0,
+        task_overhead=8 * units.MICROSECOND,
+        kernel_efficiency=0.55,
+    )
+    network = NetworkSpec(
+        name="Intel Omni-Path",
+        peak_bw=units.gbit_s(100.0),
+        effective_bw=units.gbit_s(86.0),
+        latency=units.usec(1.0),
+        # Calibrated so the CA gain at 64 nodes / ratio 0.2 lands near the
+        # paper's 33% (abstract); see EXPERIMENTS.md for the fit.
+        software_overhead=units.usec(16.0),
+        half_bw_size=16 * units.KB,
+    )
+    return MachineSpec(name="Stampede2", nodes=nodes, node=node, network=network)
+
+
+def summit_like(nodes: int = 64) -> MachineSpec:
+    """A Summit-flavoured projection used by the paper's conclusion:
+    ~900 GB/s memory bandwidth per GPU-class device, ~1 us network
+    latency.  Included to let users explore the regime where the node is
+    so fast that everything is network-bound and CA dominates."""
+    node = NodeSpec(
+        name="Summit-like node",
+        cores=42,
+        core_stream_bw=units.gb_s(120.0),
+        node_stream_bw=units.gb_s(900.0),
+        core_peak_flops=units.gflops(500.0),
+        memory_bytes=512 * units.GB,
+        l3_bytes=96 * units.MB,
+        task_overhead=5 * units.MICROSECOND,
+        kernel_efficiency=0.8,
+    )
+    network = NetworkSpec(
+        name="EDR InfiniBand (dual-rail)",
+        peak_bw=units.gbit_s(200.0),
+        effective_bw=units.gbit_s(165.0),
+        latency=units.usec(1.0),
+        software_overhead=units.usec(15.0),
+        half_bw_size=32 * units.KB,
+    )
+    return MachineSpec(name="Summit-like", nodes=nodes, node=node, network=network)
+
+
+PRESETS = {
+    "nacl": nacl,
+    "stampede2": stampede2,
+    "summit-like": summit_like,
+}
+
+
+def preset(name: str, nodes: int | None = None) -> MachineSpec:
+    """Look a machine preset up by name (case-insensitive)."""
+    key = name.lower()
+    if key not in PRESETS:
+        raise KeyError(f"unknown machine preset {name!r}; choices: {sorted(PRESETS)}")
+    spec = PRESETS[key]() if nodes is None else PRESETS[key](nodes)
+    return spec

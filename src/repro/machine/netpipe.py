@@ -1,0 +1,102 @@
+"""NetPIPE ping-pong benchmark -- modelled (Fig. 5) and host loopback.
+
+NetPIPE measures achieved bandwidth for a geometric ladder of message
+sizes with a ping-pong between two processes.  :func:`model_curve`
+evaluates the :class:`~repro.machine.network.NetworkSpec` bandwidth
+curve at NetPIPE's sizes, producing the Fig. 5 series (fraction of
+theoretical peak vs message size).  :func:`run_host_loopback` performs
+a real memcpy-based "loopback NetPIPE" so users can characterise the
+host the same way, without MPI.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .network import NetworkSpec
+
+
+@dataclass(frozen=True)
+class NetpipePoint:
+    """One NetPIPE sample."""
+
+    nbytes: int
+    bandwidth: float  # bytes/s achieved
+    fraction_of_peak: float
+    time: float  # one-way message time, seconds
+
+
+def message_sizes(min_bytes: int = 64, max_bytes: int = 4 * 1024 * 1024) -> list[int]:
+    """NetPIPE's geometric ladder of message sizes (factor 2)."""
+    if min_bytes < 1 or max_bytes < min_bytes:
+        raise ValueError("need 1 <= min_bytes <= max_bytes")
+    sizes = []
+    n = min_bytes
+    while n <= max_bytes:
+        sizes.append(n)
+        n *= 2
+    return sizes
+
+
+def model_curve(
+    net: NetworkSpec,
+    min_bytes: int = 64,
+    max_bytes: int = 4 * 1024 * 1024,
+) -> list[NetpipePoint]:
+    """Evaluate the network model at NetPIPE's message sizes.
+
+    This regenerates the Fig. 5 series for a machine: achieved
+    bandwidth ramps with message size and saturates at the effective
+    peak (27 Gb/s NaCL, 86 Gb/s Stampede2), i.e. below the theoretical
+    peak plotted as 100 %.
+    """
+    points = []
+    for n in message_sizes(min_bytes, max_bytes):
+        bw = net.achieved_bandwidth(n)
+        points.append(
+            NetpipePoint(
+                nbytes=n,
+                bandwidth=bw,
+                fraction_of_peak=net.fraction_of_peak(n),
+                time=net.wire_time(n),
+            )
+        )
+    return points
+
+
+def run_host_loopback(
+    min_bytes: int = 64,
+    max_bytes: int = 1024 * 1024,
+    repeats: int = 7,
+) -> list[NetpipePoint]:
+    """A loopback NetPIPE: time round-trip memcpys between two buffers.
+
+    There is no network here -- the point is to exercise the same
+    measurement methodology (ping-pong, best of ``repeats``, bandwidth
+    = bytes / one-way time) against host memory so the harness works on
+    a laptop.  Peak fraction is reported against the largest observed
+    bandwidth.
+    """
+    samples: list[tuple[int, float]] = []
+    for n in message_sizes(min_bytes, max_bytes):
+        src = np.ones(n, dtype=np.uint8)
+        dst = np.empty_like(src)
+        # More iterations for tiny messages, like NetPIPE does.
+        iters = max(3, min(1000, (64 * 1024) // n))
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for _ in range(iters):
+                np.copyto(dst, src)  # ping
+                np.copyto(src, dst)  # pong
+            dt = (time.perf_counter() - t0) / (2 * iters)
+            best = min(best, dt)
+        samples.append((n, best))
+    peak = max(n / t for n, t in samples)
+    return [
+        NetpipePoint(nbytes=n, bandwidth=n / t, fraction_of_peak=(n / t) / peak, time=t)
+        for n, t in samples
+    ]

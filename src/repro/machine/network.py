@@ -1,0 +1,122 @@
+"""Interconnect model: latency, effective bandwidth, message time.
+
+The model is the classic alpha-beta (Hockney) model with a
+NetPIPE-shaped effective-bandwidth curve: achieved bandwidth for an
+``n``-byte message is ``n / (alpha + n / beta_eff)``, which ramps from
+latency-dominated (~0 for tiny messages) to ``beta_eff`` for large ones
+-- exactly the S-curve of Fig. 5.  On top of the wire model we charge a
+per-message *software* overhead (MPI stack + runtime activation), which
+is the quantity communication-avoiding actually amortises.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from . import units
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Static description of the interconnect between nodes.
+
+    Parameters
+    ----------
+    name:
+        e.g. ``"InfiniBand QDR"``.
+    peak_bw:
+        Theoretical peak link bandwidth, bytes/s (marketing number:
+        32 Gb/s QDR, 100 Gb/s Omni-Path).
+    effective_bw:
+        Peak *achieved* bandwidth from NetPIPE, bytes/s (27 Gb/s on
+        NaCL, 86 Gb/s on Stampede2).
+    latency:
+        One-way wire latency in seconds (~1 us on both machines).
+    software_overhead:
+        Per-message CPU-side cost (matching, progress, task activation)
+        in seconds, charged to the communication thread.  This is the
+        dominant per-message cost for the small ghost messages of the
+        base version and the knob the CA scheme wins on.
+    half_bw_size:
+        Message size (bytes) at which achieved bandwidth is half of
+        ``effective_bw`` (NetPIPE's ``n_1/2``).  Sets the curvature of
+        the Fig. 5 S-curve; derived from latency if left at 0.
+    """
+
+    name: str
+    peak_bw: float
+    effective_bw: float
+    latency: float
+    software_overhead: float = 20 * units.MICROSECOND
+    half_bw_size: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.peak_bw <= 0 or self.effective_bw <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.effective_bw > self.peak_bw:
+            raise ValueError("effective bandwidth cannot exceed peak")
+        if self.latency < 0 or self.software_overhead < 0:
+            raise ValueError("latency/overhead cannot be negative")
+
+    @property
+    def alpha(self) -> float:
+        """Start-up cost per message (seconds) in the Hockney model."""
+        if self.half_bw_size > 0:
+            # By definition of n_1/2: n/2beta = alpha at n = half_bw_size.
+            return self.half_bw_size / self.effective_bw
+        return self.latency
+
+    def wire_time(self, nbytes: float) -> float:
+        """Pure on-the-wire time of an ``nbytes`` message (seconds)."""
+        if nbytes < 0:
+            raise ValueError("message size cannot be negative")
+        return self.alpha + nbytes / self.effective_bw
+
+    def message_time(self, nbytes: float) -> float:
+        """End-to-end time of one message including software overhead."""
+        return self.software_overhead + self.wire_time(nbytes)
+
+    def achieved_bandwidth(self, nbytes: float) -> float:
+        """Achieved bandwidth (bytes/s) for an ``nbytes`` message, as
+        NetPIPE would report it."""
+        if nbytes <= 0:
+            return 0.0
+        return nbytes / self.wire_time(nbytes)
+
+    def fraction_of_peak(self, nbytes: float) -> float:
+        """Achieved bandwidth as a fraction of the theoretical peak --
+        the y-axis of Fig. 5."""
+        return self.achieved_bandwidth(nbytes) / self.peak_bw
+
+    def saturation_size(self, fraction: float = 0.9) -> float:
+        """Smallest message size achieving ``fraction`` of the effective
+        bandwidth.  Solving n/(alpha + n/beta) = f*beta gives
+        n = f*alpha*beta / (1-f)."""
+        if not 0 < fraction < 1:
+            raise ValueError("fraction must be in (0, 1)")
+        return fraction * self.alpha * self.effective_bw / (1.0 - fraction)
+
+
+def bisect_size_for_fraction(net: NetworkSpec, fraction: float) -> float:
+    """Numerically invert :meth:`NetworkSpec.fraction_of_peak`.
+
+    Used by analysis code that asks "how big must a message be to reach
+    X % of *peak* (not effective) bandwidth"; returns ``inf`` when the
+    fraction is unreachable (effective < fraction * peak).
+    """
+    target = fraction * net.peak_bw
+    if target >= net.effective_bw:
+        return math.inf
+    lo, hi = 1.0, 1.0
+    while net.achieved_bandwidth(hi) < target:
+        hi *= 2.0
+        if hi > 1e15:  # pragma: no cover - guarded by the inf check above
+            return math.inf
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if net.achieved_bandwidth(mid) < target:
+            lo = mid
+        else:
+            hi = mid
+    return hi

@@ -1,0 +1,98 @@
+"""Compute-node model.
+
+A node is described by the handful of parameters the paper's roofline
+analysis actually uses: core count, per-core and whole-node sustainable
+memory bandwidth (STREAM), peak floating-point rate, and the per-task
+software overhead of the runtime.  Everything downstream (kernel cost
+model, discrete-event engine) consumes a :class:`NodeSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import units
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of one compute node.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"NaCL node"``).
+    cores:
+        Total cores across all sockets.
+    core_stream_bw:
+        Sustainable single-core memory bandwidth in bytes/s (STREAM COPY
+        with one thread).  A single core cannot saturate the memory
+        interface on either paper machine.
+    node_stream_bw:
+        Sustainable whole-node memory bandwidth in bytes/s (STREAM COPY
+        with all cores).
+    core_peak_flops:
+        Peak double-precision FLOP/s of one core.  Only used as the
+        compute roofline ceiling; the 5-point stencil never gets near it.
+    memory_bytes:
+        Installed DRAM, used for capacity sanity checks.
+    task_overhead:
+        Runtime software overhead charged per task (selection, dependency
+        resolution, completion propagation), in seconds.  This is what
+        makes very small tiles slow in Fig. 6.
+    l3_bytes:
+        Total last-level cache per node, used by the kernel cost model
+        to detect when a tile's working set spills to DRAM; 0 disables
+        the spill model for machines whose sweeps stream at DRAM rate
+        regardless of tile size.
+    kernel_efficiency:
+        Fraction of the STREAM roofline the *unoptimised* stencil kernel
+        achieves.  The paper observes ~11 of 14.5--21.9 GFLOP/s on NaCL
+        and ~43.5 of 63.8--96.6 GFLOP/s on Stampede2, i.e. the plain
+        loop-over-tile kernel does not reach the STREAM bound.
+    """
+
+    name: str
+    cores: int
+    core_stream_bw: float
+    node_stream_bw: float
+    core_peak_flops: float
+    memory_bytes: float = 32 * units.GB
+    l3_bytes: float = 32 * units.MB
+    task_overhead: float = 10 * units.MICROSECOND
+    kernel_efficiency: float = 0.65
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"node needs at least one core, got {self.cores}")
+        if self.core_stream_bw <= 0 or self.node_stream_bw <= 0:
+            raise ValueError("STREAM bandwidths must be positive")
+        if self.node_stream_bw < self.core_stream_bw:
+            raise ValueError(
+                "whole-node STREAM bandwidth cannot be below single-core "
+                f"bandwidth ({self.node_stream_bw} < {self.core_stream_bw})"
+            )
+        if not 0.0 < self.kernel_efficiency <= 1.0:
+            raise ValueError("kernel_efficiency must be in (0, 1]")
+
+    @property
+    def compute_cores(self) -> int:
+        """Cores available for computation when one is reserved for
+        communication (the PaRSEC configuration used in the paper)."""
+        return max(1, self.cores - 1)
+
+    @property
+    def node_peak_flops(self) -> float:
+        """Aggregate peak FLOP/s of the node."""
+        return self.cores * self.core_peak_flops
+
+    def worker_stream_bw(self, concurrent_workers: int) -> float:
+        """Memory bandwidth one worker sees with ``concurrent_workers``
+        cores streaming at once.
+
+        The node interface saturates: each worker gets an equal share of
+        the node bandwidth, but never more than a single core can draw.
+        """
+        if concurrent_workers < 1:
+            raise ValueError("need at least one worker")
+        return min(self.core_stream_bw, self.node_stream_bw / concurrent_workers)

@@ -1,0 +1,80 @@
+"""Roofline model (Williams et al.) as used in section VI-A of the paper.
+
+The paper estimates the 5-point stencil's arithmetic intensity at 0.37
+to 0.56 FLOP/byte (9 FLOP per point; 16--24 bytes moved depending on
+cache residency of the neighbour loads) and derives effective peaks of
+14.5--21.9 GFLOP/s (NaCL) and 63.8--96.6 GFLOP/s (Stampede2) from the
+STREAM COPY bandwidths.  This module reproduces those numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .node import NodeSpec
+
+#: FLOP per grid-point update in the general-weights formulation used by
+#: all three implementations: 5 multiplies + 4 adds.
+FLOP_PER_POINT = 9
+
+#: Bytes moved per update when every neighbour load hits in cache: one
+#: read of the point itself and one write of the result.
+BYTES_PER_POINT_CACHED = 16
+
+#: Bytes moved per update when the top/bottom neighbour rows also miss:
+#: read x(i,j), x(i-1,j), write y(i,j) -- 24 bytes.  Left/right
+#: neighbours are always cache-resident for row-major sweeps.
+BYTES_PER_POINT_UNCACHED = 24
+
+#: The paper's quoted arithmetic-intensity range.
+AI_LOW = FLOP_PER_POINT / BYTES_PER_POINT_UNCACHED  # 0.375
+AI_HIGH = FLOP_PER_POINT / BYTES_PER_POINT_CACHED  # 0.5625
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One evaluation of the roofline: attainable FLOP/s and which
+    ceiling binds."""
+
+    attainable_flops: float
+    memory_bound: bool
+    arithmetic_intensity: float
+    bandwidth: float
+    peak_flops: float
+
+
+def attainable(ai: float, bandwidth: float, peak_flops: float) -> RooflinePoint:
+    """Classic roofline: ``min(peak, ai * bw)``.
+
+    Parameters are arithmetic intensity (FLOP/byte), sustainable memory
+    bandwidth (bytes/s) and peak compute (FLOP/s).
+    """
+    if ai <= 0:
+        raise ValueError("arithmetic intensity must be positive")
+    if bandwidth <= 0 or peak_flops <= 0:
+        raise ValueError("bandwidth and peak must be positive")
+    mem_roof = ai * bandwidth
+    if mem_roof < peak_flops:
+        return RooflinePoint(mem_roof, True, ai, bandwidth, peak_flops)
+    return RooflinePoint(peak_flops, False, ai, bandwidth, peak_flops)
+
+
+def node_attainable(node: NodeSpec, ai: float) -> RooflinePoint:
+    """Roofline of a whole node using its STREAM COPY bandwidth, the
+    configuration the paper analyses."""
+    return attainable(ai, node.node_stream_bw, node.node_peak_flops)
+
+
+def stencil_peak_range(node: NodeSpec) -> tuple[float, float]:
+    """The paper's "effective peak performance" bracket for the 5-point
+    stencil on one node: (low, high) FLOP/s at AI 0.375 and 0.5625."""
+    lo = node_attainable(node, AI_LOW).attainable_flops
+    hi = node_attainable(node, AI_HIGH).attainable_flops
+    return lo, hi
+
+
+def ridge_point(bandwidth: float, peak_flops: float) -> float:
+    """Arithmetic intensity at which a kernel stops being memory bound."""
+    if bandwidth <= 0 or peak_flops <= 0:
+        raise ValueError("bandwidth and peak must be positive")
+    return peak_flops / bandwidth

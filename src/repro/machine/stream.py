@@ -1,0 +1,191 @@
+"""STREAM memory-bandwidth benchmark (McCalpin) -- measured and modelled.
+
+Two entry points:
+
+* :func:`run_host` -- actually run the four STREAM kernels (COPY, SCALE,
+  ADD, TRIAD) with numpy on the current host and report MB/s, the way
+  the paper ran STREAM on NaCL and Stampede2.
+* :func:`model` -- regenerate Table I for a machine model.  For the two
+  paper presets the per-mode numbers are the calibrated measurements
+  from the paper; for other nodes the modes are scaled from COPY with
+  the average mode ratios observed in Table I.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import units
+from .node import NodeSpec
+
+MODES = ("COPY", "SCALE", "ADD", "TRIAD")
+
+#: Canonical bytes moved per array element for each mode (reads +
+#: writes of 8-byte doubles): COPY/SCALE touch 2 arrays, ADD/TRIAD 3.
+BYTES_PER_ELEMENT = {"COPY": 16, "SCALE": 16, "ADD": 24, "TRIAD": 24}
+
+#: Bytes the *numpy* implementation actually moves.  numpy cannot fuse
+#: TRIAD's multiply-add into one sweep, so our TRIAD makes two passes
+#: (read c, write b; read a+b, write b) = 40 B/element.
+HOST_BYTES_PER_ELEMENT = {"COPY": 16, "SCALE": 16, "ADD": 24, "TRIAD": 40}
+
+#: Table I of the paper, in MB/s: {(machine, scale): {mode: value}}.
+PAPER_TABLE1 = {
+    ("NaCL", "1-core"): {
+        "COPY": 9814.2,
+        "SCALE": 10080.3,
+        "ADD": 10289.3,
+        "TRIAD": 10271.6,
+    },
+    ("NaCL", "1-node"): {
+        "COPY": 40091.3,
+        "SCALE": 26335.8,
+        "ADD": 28992.0,
+        "TRIAD": 28547.2,
+    },
+    ("Stampede2", "1-core"): {
+        "COPY": 10632.6,
+        "SCALE": 10772.0,
+        "ADD": 13427.1,
+        "TRIAD": 13440.0,
+    },
+    ("Stampede2", "1-node"): {
+        "COPY": 176701.1,
+        "SCALE": 178718.7,
+        "ADD": 192560.3,
+        "TRIAD": 193216.3,
+    },
+}
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Bandwidths for the four STREAM modes, in MB/s (decimal, like the
+    original benchmark and Table I)."""
+
+    system: str
+    scale: str
+    copy: float
+    scale_mode: float
+    add: float
+    triad: float
+
+    def as_row(self) -> tuple:
+        """The Table I row: (system, scale, COPY, SCALE, ADD, TRIAD)."""
+        return (self.system, self.scale, self.copy, self.scale_mode, self.add, self.triad)
+
+    def __getitem__(self, mode: str) -> float:
+        return {
+            "COPY": self.copy,
+            "SCALE": self.scale_mode,
+            "ADD": self.add,
+            "TRIAD": self.triad,
+        }[mode.upper()]
+
+
+def _stream_pass(a: np.ndarray, b: np.ndarray, c: np.ndarray, mode: str, s: float) -> None:
+    """One timed STREAM sweep.  Uses ``np.multiply``/``np.add`` with
+    explicit ``out=`` so no temporaries are allocated (the in-place
+    idiom the optimisation guides insist on)."""
+    if mode == "COPY":
+        np.copyto(c, a)
+    elif mode == "SCALE":
+        np.multiply(c, s, out=b)
+    elif mode == "ADD":
+        np.add(a, b, out=c)
+    elif mode == "TRIAD":
+        np.multiply(c, s, out=b)
+        np.add(a, b, out=b)
+    else:  # pragma: no cover
+        raise ValueError(f"unknown STREAM mode {mode!r}")
+
+
+def run_host(
+    elements: int = 5_000_000, repeats: int = 5, system: str = "host"
+) -> StreamResult:
+    """Run STREAM on the current host and report best-of-``repeats``
+    bandwidths, like the reference implementation.
+
+    ``elements`` defaults to arrays much larger than any L3 so the
+    measurement reflects DRAM, not cache.
+    """
+    if elements < 1000:
+        raise ValueError("STREAM arrays must be non-trivial (>= 1000 elements)")
+    if repeats < 1:
+        raise ValueError("need at least one repeat")
+    a = np.full(elements, 1.0)
+    b = np.full(elements, 2.0)
+    c = np.zeros(elements)
+    s = 3.0
+    best: dict[str, float] = {}
+    for mode in MODES:
+        best_t = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            _stream_pass(a, b, c, mode, s)
+            best_t = min(best_t, time.perf_counter() - t0)
+        nbytes = elements * HOST_BYTES_PER_ELEMENT[mode]
+        best[mode] = units.to_mb_s(nbytes / best_t)
+    return StreamResult(
+        system=system,
+        scale="1-core",
+        copy=best["COPY"],
+        scale_mode=best["SCALE"],
+        add=best["ADD"],
+        triad=best["TRIAD"],
+    )
+
+
+def _mode_ratios(system: str, scale: str) -> dict[str, float]:
+    """Per-mode ratio to COPY.  Calibrated rows use Table I exactly;
+    anything else uses the average of the four Table I rows."""
+    key = (system, scale)
+    if key in PAPER_TABLE1:
+        row = PAPER_TABLE1[key]
+        return {m: row[m] / row["COPY"] for m in MODES}
+    rows = PAPER_TABLE1.values()
+    return {m: float(np.mean([r[m] / r["COPY"] for r in rows])) for m in MODES}
+
+
+def model(node: NodeSpec, scale: str, system: str | None = None) -> StreamResult:
+    """Model a Table I row for ``node`` at ``scale`` ("1-core" or
+    "1-node").
+
+    COPY comes straight from the node spec; the other three modes are
+    scaled with the mode ratios of the matching paper machine (or the
+    Table I average for non-preset nodes).
+    """
+    if scale not in ("1-core", "1-node"):
+        raise ValueError('scale must be "1-core" or "1-node"')
+    system = system or node.name
+    base = node.core_stream_bw if scale == "1-core" else node.node_stream_bw
+    for paper_system in ("NaCL", "Stampede2"):
+        if paper_system.lower() in system.lower():
+            system_key = paper_system
+            break
+    else:
+        system_key = system
+    ratios = _mode_ratios(system_key, scale)
+    mb = units.to_mb_s(base)
+    return StreamResult(
+        system=system_key,
+        scale=scale,
+        copy=mb * ratios["COPY"],
+        scale_mode=mb * ratios["SCALE"],
+        add=mb * ratios["ADD"],
+        triad=mb * ratios["TRIAD"],
+    )
+
+
+def scaling_curve(node: NodeSpec, max_cores: int | None = None) -> list[tuple[int, float]]:
+    """Modelled COPY bandwidth (bytes/s) vs active core count: linear in
+    core bandwidth until the node interface saturates.  Documents the
+    paper's observation that "a single core cannot saturate the memory
+    interface"."""
+    n = max_cores or node.cores
+    return [
+        (p, min(p * node.core_stream_bw, node.node_stream_bw)) for p in range(1, n + 1)
+    ]

@@ -1,0 +1,72 @@
+"""Unit helpers and constants used throughout the machine models.
+
+All internal quantities use SI base units: seconds, bytes, bytes/second,
+FLOP, FLOP/second.  The paper mixes Gb/s (network), MB/s (STREAM) and
+GFLOP/s (kernels); these helpers keep conversions explicit and in one
+place so model code never multiplies by bare ``1e9``.
+"""
+
+from __future__ import annotations
+
+#: Bytes in one double-precision floating point number.
+DOUBLE = 8
+
+#: Bytes in one 64-bit integer (PETSc was compiled with 64-bit indices).
+INT64 = 8
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Decimal multipliers -- network vendors (and NetPIPE) use powers of ten.
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+
+
+def gbit_s(x: float) -> float:
+    """Convert a rate expressed in Gbit/s into bytes/s."""
+    return x * GIGA / 8.0
+
+
+def to_gbit_s(bytes_per_s: float) -> float:
+    """Convert bytes/s into Gbit/s (the unit Fig. 5 uses)."""
+    return bytes_per_s * 8.0 / GIGA
+
+
+def mb_s(x: float) -> float:
+    """Convert a STREAM-style MB/s figure (decimal MB) into bytes/s."""
+    return x * MEGA
+
+
+def to_mb_s(bytes_per_s: float) -> float:
+    """Convert bytes/s into decimal MB/s (the unit Table I uses)."""
+    return bytes_per_s / MEGA
+
+
+def gb_s(x: float) -> float:
+    """Convert a decimal GB/s figure into bytes/s."""
+    return x * GIGA
+
+
+def to_gb_s(bytes_per_s: float) -> float:
+    """Convert bytes/s into decimal GB/s."""
+    return bytes_per_s / GIGA
+
+
+def gflops(x: float) -> float:
+    """Convert GFLOP/s into FLOP/s."""
+    return x * GIGA
+
+
+def to_gflops(flop_per_s: float) -> float:
+    """Convert FLOP/s into GFLOP/s."""
+    return flop_per_s / GIGA
+
+
+def usec(x: float) -> float:
+    """Convert microseconds into seconds."""
+    return x * MICROSECOND

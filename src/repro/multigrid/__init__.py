@@ -1,0 +1,37 @@
+"""Geometric multigrid on the stencil substrate (the intro's canonical
+stencil consumer): transfers, smoothers, V/W/FMG cycles."""
+
+from .cycle import MGResult, cycle, fmg, solve
+from .poisson import (
+    A_WEIGHTS,
+    apply_operator,
+    direct_coarsest,
+    frame_solution,
+    jacobi_smooth,
+    residual,
+)
+from .transfer import (
+    coarse_shape,
+    levels_for,
+    prolong_bilinear,
+    restrict_full_weighting,
+    restrict_injection,
+)
+
+__all__ = [
+    "A_WEIGHTS",
+    "MGResult",
+    "apply_operator",
+    "coarse_shape",
+    "cycle",
+    "direct_coarsest",
+    "fmg",
+    "frame_solution",
+    "jacobi_smooth",
+    "levels_for",
+    "prolong_bilinear",
+    "residual",
+    "restrict_full_weighting",
+    "restrict_injection",
+    "solve",
+]

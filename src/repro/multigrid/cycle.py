@@ -1,0 +1,150 @@
+"""Multigrid cycles: V, W and full multigrid (FMG) for the Poisson
+problem, plus the solver driver.
+
+The textbook structure (Trottenberg et al., the paper's reference
+[3]): pre-smooth, restrict the residual, solve the coarse error
+equation recursively (once for a V-cycle, twice for W), prolong and
+correct, post-smooth.  Error equations on coarse levels carry zero
+Dirichlet data, so their frames are zero.
+
+The solver's figure of merit -- and the classic multigrid invariant
+the tests pin down -- is the *grid-independent* convergence factor:
+each V(2,1)-cycle shrinks the residual by roughly 10x regardless of
+problem size, while plain Jacobi degrades as O(1/n^2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..distgrid.boundary import DirichletBC
+from .poisson import (
+    direct_coarsest,
+    frame_solution,
+    jacobi_smooth,
+    residual,
+)
+from .transfer import prolong_bilinear, restrict_full_weighting
+
+#: Grids at or below this many points per side are solved directly.
+COARSEST = 3
+
+
+def cycle(
+    framed_u: np.ndarray,
+    f: np.ndarray,
+    h: float,
+    pre: int = 2,
+    post: int = 1,
+    omega: float = 0.8,
+    gamma: int = 1,
+) -> np.ndarray:
+    """One multigrid cycle (gamma=1: V, gamma=2: W) on the framed
+    iterate; returns the improved framed iterate."""
+    nr = f.shape[0]
+    if nr <= COARSEST or min(f.shape) <= COARSEST or f.shape[0] % 2 == 0 or f.shape[1] % 2 == 0:
+        exact = framed_u.copy()
+        # Fold the Dirichlet frame into an equivalent zero-frame system
+        # by solving for the correction.
+        r = residual(framed_u, f, h)
+        e = direct_coarsest(r, h)
+        exact[1:-1, 1:-1] += e
+        return exact
+
+    u = jacobi_smooth(framed_u, f, h, sweeps=pre, omega=omega)
+    r = residual(u, f, h)
+    rc = restrict_full_weighting(r)
+    # Coarse error equation: A_2h e = r_2h with zero boundary.
+    ec_framed = np.zeros((rc.shape[0] + 2, rc.shape[1] + 2))
+    for _ in range(gamma):
+        ec_framed = cycle(ec_framed, rc, 2.0 * h, pre, post, omega, gamma)
+    e = prolong_bilinear(ec_framed[1:-1, 1:-1], r.shape)
+    u[1:-1, 1:-1] += e
+    return jacobi_smooth(u, f, h, sweeps=post, omega=omega)
+
+
+@dataclass
+class MGResult:
+    """Outcome of a multigrid solve."""
+
+    u: np.ndarray  # interior solution
+    converged: bool
+    cycles: int
+    residual_norms: list[float] = field(default_factory=list)
+
+    @property
+    def convergence_factor(self) -> float:
+        """Geometric-mean residual reduction per cycle."""
+        r = self.residual_norms
+        if len(r) < 2 or r[0] == 0:
+            return 0.0
+        return float((r[-1] / r[0]) ** (1.0 / (len(r) - 1)))
+
+
+def solve(
+    f: np.ndarray,
+    bc: DirichletBC | None = None,
+    h: float | None = None,
+    rtol: float = 1e-8,
+    max_cycles: int = 50,
+    pre: int = 2,
+    post: int = 1,
+    omega: float = 0.8,
+    gamma: int = 1,
+    u0: np.ndarray | None = None,
+) -> MGResult:
+    """Solve -Laplace(u) = f to ``rtol`` with repeated cycles.
+
+    ``f`` is the interior right-hand side (odd extents for full
+    coarsening); ``h`` defaults to 1/(n+1) on the unit square.
+    """
+    bc = bc or DirichletBC(0.0)
+    nr, nc = f.shape
+    h = h if h is not None else 1.0 / (nr + 1)
+    framed = frame_solution(u0 if u0 is not None else np.zeros(f.shape), bc)
+    r0 = float(np.linalg.norm(residual(framed, f, h)))
+    result = MGResult(u=framed[1:-1, 1:-1], converged=r0 == 0.0, cycles=0)
+    result.residual_norms.append(r0)
+    if r0 == 0.0:
+        return result
+    for k in range(1, max_cycles + 1):
+        framed = cycle(framed, f, h, pre=pre, post=post, omega=omega, gamma=gamma)
+        rnorm = float(np.linalg.norm(residual(framed, f, h)))
+        result.residual_norms.append(rnorm)
+        if rnorm <= rtol * r0:
+            result.u = framed[1:-1, 1:-1].copy()
+            result.converged = True
+            result.cycles = k
+            return result
+    result.u = framed[1:-1, 1:-1].copy()
+    result.cycles = max_cycles
+    return result
+
+
+def fmg(
+    f: np.ndarray,
+    bc: DirichletBC | None = None,
+    h: float | None = None,
+    pre: int = 2,
+    post: int = 1,
+    omega: float = 0.8,
+    cycles_per_level: int = 1,
+) -> np.ndarray:
+    """Full multigrid: solve coarse first, interpolate up, one V-cycle
+    per level -- O(N) work to discretisation accuracy.  Returns the
+    interior solution (zero-boundary form: FMG transfers solutions, so
+    nonzero Dirichlet data should be lifted by the caller; `solve`
+    handles general BCs)."""
+    bc = bc or DirichletBC(0.0)
+    nr, nc = f.shape
+    h = h if h is not None else 1.0 / (nr + 1)
+    if nr <= COARSEST or min(nr, nc) <= COARSEST or nr % 2 == 0 or nc % 2 == 0:
+        return direct_coarsest(f, h)
+    fc = restrict_full_weighting(f)
+    uc = fmg(fc, bc, 2.0 * h, pre, post, omega, cycles_per_level)
+    framed = frame_solution(prolong_bilinear(uc, f.shape), bc)
+    for _ in range(cycles_per_level):
+        framed = cycle(framed, f, h, pre=pre, post=post, omega=omega)
+    return framed[1:-1, 1:-1].copy()

@@ -1,0 +1,134 @@
+"""DMDA-lite: 2D structured grids as distributed vectors + the 5-point
+operator as an assembled sparse matrix.
+
+The paper's PETSc implementation "simply expand[s] the 2D compute grid
+points into 1D solution vector, and the corresponding 5 points stencil
+update expresses as a sparse matrix", partitioned by rows.  This
+module does exactly that: natural (row-major) ordering, even row-block
+ownership, COO assembly of the weighted 5-point operator, and the
+Dirichlet contributions folded into a right-hand-side vector so that
+one Jacobi sweep is ``x' = A x + b``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distgrid.boundary import DirichletBC
+from ..stencil.problem import JacobiProblem
+from ..stencil.variable import VariableStencilWeights
+from .mat import MatAIJ
+from .vec import Vec, VecLayout
+
+
+def natural_layout(nrows: int, ncols: int, nranks: int) -> VecLayout:
+    """Row-block layout of the flattened (row-major) grid."""
+    return VecLayout(n=nrows * ncols, nranks=nranks)
+
+
+def grid_to_vec(grid: np.ndarray, layout: VecLayout) -> Vec:
+    """Scatter a 2D grid into a distributed vector (row-major)."""
+    if grid.size != layout.n:
+        raise ValueError(f"grid of {grid.size} cells != vector of {layout.n}")
+    return Vec.from_global(layout, grid.ravel())
+
+
+def vec_to_grid(vec: Vec, nrows: int, ncols: int) -> np.ndarray:
+    """Gather a distributed vector back into its 2D grid."""
+    return vec.to_global().reshape(nrows, ncols)
+
+
+def stencil_coo(
+    nrows: int, ncols: int, weights, bc: DirichletBC
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Global COO triplets of the weighted 5-point operator plus the
+    Dirichlet right-hand side: sweep(x) == A x + b.
+
+    Fully vectorised; every in-domain neighbour becomes a matrix entry,
+    every out-of-domain neighbour contributes ``weight * bc`` to b.
+    """
+    n = nrows * ncols
+    idx = np.arange(n, dtype=np.int64)
+    r, c = divmod(idx, ncols)
+    if isinstance(weights, VariableStencilWeights):
+        wc, wn, ws, ww, we = weights.evaluate(r, c)
+    else:
+        wc, wn, ws, ww, we = (np.full(n, w) for w in weights.as_tuple())
+    rows = [idx]
+    cols = [idx]
+    vals = [wc]
+    b = np.zeros(n)
+    for weight, dr, dc in ((wn, -1, 0), (ws, 1, 0), (ww, 0, -1), (we, 0, 1)):
+        nr, nc_ = r + dr, c + dc
+        inside = (nr >= 0) & (nr < nrows) & (nc_ >= 0) & (nc_ < ncols)
+        rows.append(idx[inside])
+        cols.append((nr * ncols + nc_)[inside])
+        vals.append(weight[inside])
+        out = ~inside
+        if out.any():
+            b[idx[out]] += weight[out] * bc.evaluate(nr[out], nc_[out])
+    return (
+        np.concatenate(rows),
+        np.concatenate(cols),
+        np.concatenate(vals),
+        b,
+    )
+
+
+def jacobi_operator(problem: JacobiProblem, nranks: int) -> tuple[MatAIJ, Vec]:
+    """(A, b) such that one Jacobi sweep of ``problem`` is x' = A x + b."""
+    nrows, ncols = problem.shape
+    layout = natural_layout(nrows, ncols, nranks)
+    rows, cols, vals, b = stencil_coo(nrows, ncols, problem.weights, problem.bc)
+    mat = MatAIJ.from_coo(layout, layout, rows, cols, vals)
+    return mat, Vec.from_global(layout, b)
+
+
+def ghost_indices(layout: VecLayout, rank: int, ncols: int) -> np.ndarray:
+    """Exact global indices rank needs but does not own for one 5-point
+    sweep under natural ordering: the north/south windows one grid row
+    away plus the +-1 stragglers at the range ends.  Matches the
+    assembled matrix's ``garray`` and is available without assembling
+    anything, which is what the timing-only graphs use."""
+    r0, r1 = layout.range_of(rank)
+    mine = np.arange(r0, r1, dtype=np.int64)
+    pieces = []
+    north = mine - ncols
+    pieces.append(north[north >= 0])
+    south = mine + ncols
+    pieces.append(south[south < layout.n])
+    west = mine[mine % ncols != 0] - 1
+    pieces.append(west)
+    east = mine[mine % ncols != ncols - 1] + 1
+    pieces.append(east)
+    neighbours = np.unique(np.concatenate(pieces))
+    return neighbours[(neighbours < r0) | (neighbours >= r1)]
+
+
+def ghost_window_groups(layout: VecLayout, rank: int, ncols: int) -> dict[int, int]:
+    """Analytic ghost census for the timing-only graphs: how many
+    entries ``rank`` pulls from each owner rank, without materialising
+    index arrays (paper-sized layouts have millions of rows per rank).
+
+    Uses the window approximation ``[r0 - ncols, r0) u [r1, r1 +
+    ncols)``, which equals :func:`ghost_indices` exactly whenever every
+    rank owns at least one full grid row (always true in the paper's
+    configurations).
+    """
+    r0, r1 = layout.range_of(rank)
+    windows = (
+        (max(0, r0 - ncols), r0),
+        (r1, min(layout.n, r1 + ncols)),
+    )
+    groups: dict[int, int] = {}
+    ranges = layout.ranges
+    for a, b in windows:
+        if a >= b:
+            continue
+        src = layout.owner(a)
+        while a < b:
+            hi = min(b, ranges[src + 1])
+            groups[src] = groups.get(src, 0) + (hi - a)
+            a = hi
+            src += 1
+    return groups

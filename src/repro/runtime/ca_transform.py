@@ -1,0 +1,123 @@
+"""Automatic communication avoidance -- the paper's future-work feature.
+
+Section VII sketches "a more generic communication avoiding framework
+... built directly into the runtime system.  This approach will
+include automatic data replication across the stencil grid neighbors
+... the generation and the scheduling of the redundant tasks become
+transparent to the users."
+
+This module realises that design on top of the reproduction's runtime:
+the user supplies only the *base* description of a tiled stencil (a
+:class:`~repro.core.spec.StencilSpec` with ``steps=1``, i.e. plain
+per-iteration exchanges) and a target step size; the transform derives
+everything CA needs automatically --
+
+* ghost-region deepening on node-facing tile sides,
+* the corner-neighbour replication flows,
+* the redundant halo-update tasks and their shrinking regions,
+* the superstep communication schedule --
+
+and returns a ready-to-run build.  No stencil code changes: the same
+kernels execute, because the CA geometry lives entirely in the
+runtime-level spec (exactly the transparency argument of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..machine.machine import MachineSpec
+from ..stencil.cost import KernelCostModel
+
+
+@dataclass(frozen=True)
+class CAPlan:
+    """What the transform decided, for inspection/reporting."""
+
+    steps: int
+    boundary_tiles: int
+    interior_tiles: int
+    extra_ghost_bytes: int
+    messages_per_superstep: int
+    messages_saved_fraction: float
+
+
+def apply_communication_avoidance(spec, steps: int):
+    """Deepen a base stencil spec into its CA equivalent.
+
+    ``spec`` must be a base (``steps == 1``) stencil spec; returns the
+    transformed spec with ``steps`` and the same problem/partition.
+    Raises when the transform cannot apply (step size larger than the
+    smallest tile -- replicated strips must come from one tile).
+    """
+    from ..core.spec import StencilSpec  # local import: runtime <-> core layering
+
+    if not isinstance(spec, StencilSpec):
+        raise TypeError("expected a StencilSpec")
+    if spec.steps != 1:
+        raise ValueError("the transform applies to base (steps=1) specs")
+    if steps < 1:
+        raise ValueError("step size must be >= 1")
+    return replace(spec, steps=steps)
+
+
+def plan(spec, steps: int) -> CAPlan:
+    """Describe the replication the transform would introduce, without
+    building anything: extra ghost memory and the message reduction."""
+    ca = apply_communication_avoidance(spec, steps)
+    base = spec
+    extra_bytes = 0
+    boundary = 0
+    interior = 0
+    msgs_base = 0
+    msgs_ca = 0
+    from ..distgrid.halo import CORNERS, SIDES
+
+    for (i, j) in ca.partition.tiles():
+        tb = base.tile(i, j)
+        tc = ca.tile(i, j)
+        eb = tb.ext_shape()
+        ec = tc.ext_shape()
+        extra_bytes += (ec[0] * ec[1] - eb[0] * eb[1]) * 8
+        if tc.is_boundary():
+            boundary += 1
+        else:
+            interior += 1
+        for side in SIDES:
+            if tc.remote[side]:
+                msgs_base += steps  # one per iteration over a superstep
+                msgs_ca += 1
+        for corner in CORNERS:
+            if ca.corner_block(tc, corner) is not None:
+                msgs_ca += 1
+    saved = 0.0 if msgs_base == 0 else 1.0 - msgs_ca / msgs_base
+    return CAPlan(
+        steps=steps,
+        boundary_tiles=boundary,
+        interior_tiles=interior,
+        extra_ghost_bytes=extra_bytes,
+        messages_per_superstep=msgs_ca,
+        messages_saved_fraction=saved,
+    )
+
+
+def transform_build(
+    base_build,
+    machine: MachineSpec,
+    steps: int,
+    cost: KernelCostModel | None = None,
+    with_kernels: bool = True,
+):
+    """One-call convenience: take a base build (from
+    :func:`repro.core.base_parsec.build_base_graph`) and produce the
+    equivalent CA build, redundant tasks and all."""
+    from ..core.dataflow import build_stencil_graph
+
+    ca_spec = apply_communication_avoidance(base_build.spec, steps)
+    return build_stencil_graph(
+        ca_spec,
+        machine,
+        cost=cost,
+        name="ca-auto",
+        with_kernels=with_kernels,
+    )

@@ -1,0 +1,78 @@
+"""Graphviz DOT export of task graphs.
+
+Small graphs (a few iterations of a few tiles) are easiest to debug
+visually; this renders a finalized :class:`TaskGraph` with nodes
+clustered by owning rank, dataflow edges labelled with their tag and
+payload size, and remote edges highlighted -- paste into any graphviz
+viewer.
+"""
+
+from __future__ import annotations
+
+from .graph import TaskGraph
+
+#: Fill colours by task kind (X11 scheme names).
+KIND_COLORS = {
+    "interior": "lightblue",
+    "boundary": "salmon",
+    "init": "lightgrey",
+    "spmv": "lightgreen",
+}
+
+
+def _node_id(key) -> str:
+    return '"' + str(key).replace('"', "'") + '"'
+
+
+def to_dot(graph: TaskGraph, max_tasks: int = 2000) -> str:
+    """Render the graph as DOT text.
+
+    Refuses graphs above ``max_tasks`` -- DOT layouts beyond a couple
+    thousand nodes are unreadable and graphviz chokes; slice the
+    problem down instead.
+    """
+    if not graph.finalized:
+        raise ValueError("finalize() the graph before exporting it")
+    if len(graph) > max_tasks:
+        raise ValueError(
+            f"graph has {len(graph)} tasks; DOT export is capped at "
+            f"{max_tasks} (use a smaller configuration)"
+        )
+    lines = [
+        "digraph taskgraph {",
+        "  rankdir=TB;",
+        '  node [shape=box, style=filled, fontsize=10];',
+    ]
+    by_node: dict[int, list] = {}
+    for task in graph:
+        by_node.setdefault(task.node, []).append(task)
+    for rank in sorted(by_node):
+        lines.append(f"  subgraph cluster_node{rank} {{")
+        lines.append(f'    label="node {rank}";')
+        for task in by_node[rank]:
+            color = KIND_COLORS.get(task.kind, "white")
+            lines.append(
+                f"    {_node_id(task.key)} [fillcolor={color}, "
+                f'label="{task.key}\\n{task.kind}"];'
+            )
+        lines.append("  }")
+    for task in graph:
+        for flow in task.inputs:
+            src = graph[flow.producer]
+            remote = src.node != task.node
+            attrs = [f'label="{flow.tag}:{flow.nbytes}B"', "fontsize=8"]
+            if remote:
+                attrs.append("color=red")
+                attrs.append("penwidth=2")
+            lines.append(
+                f"  {_node_id(flow.producer)} -> {_node_id(task.key)} "
+                f"[{', '.join(attrs)}];"
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_dot(graph: TaskGraph, path: str, max_tasks: int = 2000) -> None:
+    """Write :func:`to_dot` output to a file."""
+    with open(path, "w") as fh:
+        fh.write(to_dot(graph, max_tasks))

@@ -1,0 +1,186 @@
+"""Dynamic Task Discovery (DTD) front-end.
+
+PaRSEC's DTD interface lets the programmer insert tasks *sequentially*
+with data handles annotated IN/OUT/INOUT; the runtime infers the
+dependency graph from data-access order (read-after-write,
+write-after-read, write-after-write), exactly like superscalar
+task-based models (StarPU, OmpSs).  This module reproduces that
+programming model on top of :class:`~repro.runtime.graph.TaskGraph`:
+
+* RAW dependencies become real data flows (they carry the handle's
+  payload bytes);
+* WAR and WAW dependencies become zero-byte control flows (ordering
+  only), matching how a version-based runtime reclaims buffers.
+
+Each write creates a new *version* of the handle; versions map onto
+the engine's tagged mailbox, so DTD programs can execute real kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from .graph import TaskGraph
+from .task import Flow, Task, TaskKey
+
+#: Access modes, PaRSEC naming.
+IN = "IN"
+OUT = "OUT"
+INOUT = "INOUT"
+
+
+@dataclass
+class DataHandle:
+    """A runtime-managed datum.
+
+    ``nbytes`` sizes the flows the handle generates; ``node`` is where
+    the authoritative copy lives (tasks touching the handle from other
+    nodes cause messages, as in PaRSEC's owner-computes default).
+    ``initial`` optionally provides a real payload for executing runs.
+    """
+
+    name: str
+    node: int
+    nbytes: int
+    initial: Any = None
+    version: int = 0
+    last_writer: TaskKey | None = None
+    readers_since_write: list[TaskKey] = field(default_factory=list)
+
+    def tag(self) -> str:
+        """Mailbox tag of the current version."""
+        return f"{self.name}#v{self.version}"
+
+
+class DTDRuntime:
+    """Sequential task-insertion front-end.
+
+    Example
+    -------
+    >>> dtd = DTDRuntime()
+    >>> x = dtd.data("x", node=0, nbytes=8, initial=1.0)
+    >>> t = dtd.insert_task(lambda ins, task: {"out": 2.0}, node=0,
+    ...                     accesses=[(x, INOUT)], cost=1e-6)
+    >>> graph = dtd.graph()
+    """
+
+    def __init__(self) -> None:
+        self._graph = TaskGraph()
+        self._handles: dict[str, DataHandle] = {}
+        self._counter = 0
+        self._init_tasks: dict[str, TaskKey] = {}
+
+    # -- data -----------------------------------------------------------
+
+    def data(self, name: str, node: int, nbytes: int, initial: Any = None) -> DataHandle:
+        """Register a data handle; names must be unique."""
+        if name in self._handles:
+            raise ValueError(f"duplicate data handle {name!r}")
+        handle = DataHandle(name=name, node=node, nbytes=nbytes, initial=initial)
+        self._handles[name] = handle
+        # A synthetic zero-cost source task publishes version 0 so that
+        # the first reader has a producer (PaRSEC's "data_of" lookup).
+        key: TaskKey = ("dtd-init", name)
+        payload = initial
+
+        def _init_kernel(_ins: Mapping, _task: Task, _payload=payload) -> dict:
+            return {f"{name}#v0": _payload}
+
+        self._graph.add_task(
+            key,
+            node=node,
+            cost=0.0,
+            kernel=_init_kernel,
+            out_nbytes={f"{name}#v0": nbytes},
+            kind="dtd-init",
+        )
+        handle.last_writer = key
+        self._init_tasks[name] = key
+        return handle
+
+    # -- tasks ------------------------------------------------------------
+
+    def insert_task(
+        self,
+        kernel: Callable | None,
+        node: int,
+        accesses: Sequence[tuple[DataHandle, str]],
+        cost: float = 0.0,
+        flops: float = 0.0,
+        key: TaskKey | None = None,
+        kind: str = "dtd",
+        priority: int = 0,
+    ) -> Task:
+        """Insert one task touching ``accesses`` = [(handle, mode), ...].
+
+        The kernel (if any) receives ``{(producer_key, tag): payload}``
+        for all read handles and must return one payload per written
+        handle.  The tags it must use are exactly the keys of
+        ``task.out_nbytes`` (they encode the new version, e.g.
+        ``"x#v3"``); a kernel writing a single handle can simply do
+        ``{next(iter(task.out_nbytes)): value}``.  WAR/WAW control
+        edges need no payload -- the engine satisfies them implicitly.
+        """
+        if key is None:
+            key = ("dtd", self._counter)
+        self._counter += 1
+        flows: list[Flow] = []
+        out_nbytes: dict[str, int] = {}
+        writes: list[DataHandle] = []
+        seen_handles: set[str] = set()
+        for handle, mode in accesses:
+            if handle.name not in self._handles:
+                raise ValueError(f"unknown handle {handle.name!r}")
+            if handle.name in seen_handles:
+                raise ValueError(f"handle {handle.name!r} listed twice")
+            seen_handles.add(handle.name)
+            if mode not in (IN, OUT, INOUT):
+                raise ValueError(f"bad access mode {mode!r}")
+            reads = mode in (IN, INOUT)
+            if reads:
+                # RAW: depend on the current version's producer.
+                flows.append(Flow(handle.last_writer, handle.tag(), handle.nbytes))
+            if mode in (OUT, INOUT):
+                if not reads:
+                    # A pure OUT still orders after the last version
+                    # (WAW) -- control edge, no payload.
+                    flows.append(Flow(handle.last_writer, handle.tag() + "!ctl", 0))
+                # WAR: wait for every reader of the current version.
+                for reader in handle.readers_since_write:
+                    if reader != key:
+                        flows.append(Flow(reader, f"{handle.name}#war{handle.version}", 0))
+                writes.append(handle)
+        task = Task(
+            key,
+            node=node,
+            inputs=tuple(flows),
+            cost=cost,
+            flops=flops,
+            kernel=kernel,
+            priority=priority,
+            kind=kind,
+        )
+        # Bump versions *after* computing input tags.
+        for handle in writes:
+            handle.version += 1
+            handle.last_writer = key
+            handle.readers_since_write = []
+            out_nbytes[handle.tag()] = handle.nbytes
+        for handle, mode in accesses:
+            if mode == IN:
+                handle.readers_since_write.append(key)
+        task.out_nbytes.update(out_nbytes)
+        self._graph.add(task)
+        return task
+
+    def output_tag(self, handle: DataHandle) -> str:
+        """Tag a kernel must use for the version it writes (valid right
+        after :meth:`insert_task` returned for that writer)."""
+        return handle.tag()
+
+    # -- finish --------------------------------------------------------------
+
+    def graph(self) -> TaskGraph:
+        """Finalize and return the discovered task graph."""
+        return self._graph.finalize()

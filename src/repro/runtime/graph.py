@@ -1,0 +1,184 @@
+"""Task-graph container: construction, validation and static analysis.
+
+The graph is the hand-off point between the algorithm front-ends (the
+stencil builders, the PTG and DTD DSLs) and the execution engine.  It
+owns the reverse dependency maps the engine needs and can compute the
+static communication census that the benchmarks and tests use as
+ground truth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator
+
+from .task import EdgeCensus, Task, TaskKey
+
+
+class GraphError(Exception):
+    """Raised for malformed task graphs (duplicate keys, missing
+    producers, cycles)."""
+
+
+class TaskGraph:
+    """A directed acyclic graph of :class:`Task` objects.
+
+    Tasks are added with :meth:`add`; :meth:`finalize` validates the
+    graph and builds the consumer maps.  The engine refuses to run a
+    non-finalized graph.
+    """
+
+    def __init__(self) -> None:
+        self.tasks: dict[TaskKey, Task] = {}
+        #: (producer_key, tag) -> list of consumer keys
+        self.consumers: dict[tuple[TaskKey, str], list[TaskKey]] = {}
+        #: producer key -> tags it must produce (declared + consumed)
+        self.out_tags: dict[TaskKey, tuple[str, ...]] = {}
+        self._finalized = False
+
+    # -- construction --------------------------------------------------
+
+    def add(self, task: Task) -> Task:
+        """Add a task; its producers may be added later (PaRSEC unfolds
+        graphs dynamically too)."""
+        if self._finalized:
+            raise GraphError("cannot add tasks to a finalized graph")
+        if task.key in self.tasks:
+            raise GraphError(f"duplicate task key: {task.key!r}")
+        self.tasks[task.key] = task
+        return task
+
+    def add_task(self, key: TaskKey, node: int, **kwargs) -> Task:
+        """Convenience wrapper building the :class:`Task` in place."""
+        return self.add(Task(key, node, **kwargs))
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __contains__(self, key: TaskKey) -> bool:
+        return key in self.tasks
+
+    def __getitem__(self, key: TaskKey) -> Task:
+        return self.tasks[key]
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self.tasks.values())
+
+    # -- validation -----------------------------------------------------
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    def finalize(self, validate: bool = True) -> "TaskGraph":
+        """Validate producers exist, build consumer maps and (when
+        ``validate``) check acyclicity.  Generated graphs whose task
+        keys are ordered by iteration may skip the cycle check; hand
+        built graphs should keep it.  Idempotent."""
+        if self._finalized:
+            return self
+        consumers: dict[tuple[TaskKey, str], list[TaskKey]] = {}
+        out_tags: dict[TaskKey, set[str]] = {key: set(t.out_nbytes) for key, t in self.tasks.items()}
+        for task in self.tasks.values():
+            for flow in task.inputs:
+                if flow.producer not in self.tasks:
+                    raise GraphError(
+                        f"task {task.key!r} consumes {flow.tag!r} of missing "
+                        f"producer {flow.producer!r}"
+                    )
+                consumers.setdefault((flow.producer, flow.tag), []).append(task.key)
+                out_tags[flow.producer].add(flow.tag)
+        self.consumers = consumers
+        self.out_tags = {key: tuple(sorted(tags)) for key, tags in out_tags.items()}
+        if validate:
+            self._check_acyclic()
+        self._finalized = True
+        return self
+
+    def _check_acyclic(self) -> None:
+        """Kahn's algorithm; raises :class:`GraphError` with a sample of
+        the offending tasks if a cycle exists."""
+        indeg = {key: len(t.inputs) for key, t in self.tasks.items()}
+        ready = deque(key for key, d in indeg.items() if d == 0)
+        seen = 0
+        while ready:
+            key = ready.popleft()
+            seen += 1
+            task = self.tasks[key]
+            for tag in self._out_tags(task):
+                for consumer in self.consumers.get((key, tag), ()):
+                    indeg[consumer] -= 1
+                    if indeg[consumer] == 0:
+                        ready.append(consumer)
+        if seen != len(self.tasks):
+            stuck = [k for k, d in indeg.items() if d > 0][:5]
+            raise GraphError(f"task graph has a cycle; sample of blocked tasks: {stuck}")
+
+    def _out_tags(self, task: Task) -> Iterable[str]:
+        return self.out_tags.get(task.key, ())
+
+    # -- static analysis -------------------------------------------------
+
+    def census(self) -> EdgeCensus:
+        """Count the communication the graph implies, independent of any
+        schedule: a remote *message* is one (producer, tag, destination
+        node) triple (consumers on the same node share a message, as in
+        PaRSEC); a local edge is a same-node flow."""
+        if not self._finalized:
+            raise GraphError("finalize() the graph before analysing it")
+        census = EdgeCensus()
+        # A message's payload is the largest size any party declared for
+        # it: consumer flow sizes or the producer's out_nbytes (the
+        # engine uses the same rule).
+        msg_sizes: dict[tuple[TaskKey, str, int], int] = {}
+        for task in self.tasks.values():
+            for flow in task.inputs:
+                producer = self.tasks[flow.producer]
+                if producer.node == task.node:
+                    census.add_local(flow.nbytes)
+                else:
+                    key = (flow.producer, flow.tag, task.node)
+                    declared = producer.out_nbytes.get(flow.tag, 0)
+                    msg_sizes[key] = max(msg_sizes.get(key, 0), flow.nbytes, declared)
+        for (producer_key, _tag, dst), nbytes in msg_sizes.items():
+            census.add_remote(self.tasks[producer_key].node, dst, nbytes)
+        return census
+
+    def total_flops(self) -> tuple[float, float]:
+        """(useful, redundant) FLOP over the whole graph."""
+        useful = sum(t.flops for t in self.tasks.values())
+        redundant = sum(t.redundant_flops for t in self.tasks.values())
+        return useful, redundant
+
+    def critical_path(self) -> float:
+        """Length (seconds of task cost) of the longest dependency chain
+        -- a lower bound on any schedule with infinitely many workers
+        and a zero-cost network."""
+        if not self._finalized:
+            raise GraphError("finalize() the graph before analysing it")
+        dist: dict[TaskKey, float] = {}
+        for key in self._topological_order():
+            task = self.tasks[key]
+            start = 0.0
+            for flow in task.inputs:
+                start = max(start, dist[flow.producer])
+            dist[key] = start + task.cost
+        return max(dist.values(), default=0.0)
+
+    def _topological_order(self) -> list[TaskKey]:
+        indeg = {key: len(t.inputs) for key, t in self.tasks.items()}
+        ready = deque(key for key, d in indeg.items() if d == 0)
+        order: list[TaskKey] = []
+        while ready:
+            key = ready.popleft()
+            order.append(key)
+            task = self.tasks[key]
+            for tag in self._out_tags(task):
+                for consumer in self.consumers.get((key, tag), ()):
+                    indeg[consumer] -= 1
+                    if indeg[consumer] == 0:
+                        ready.append(consumer)
+        return order
+
+    def nodes_used(self) -> set[int]:
+        return {t.node for t in self.tasks.values()}

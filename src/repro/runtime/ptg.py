@@ -1,0 +1,125 @@
+"""Parameterized Task Graph (PTG) front-end.
+
+PaRSEC's PTG/JDF DSL describes an algorithm as task *classes*
+parameterized over an index space, with dataflow expressed as
+functions of the parameters (e.g. task ``st(x, y, t)`` reads tag
+``"north"`` of ``st(x, y-1, t-1)``).  The whole DAG never exists in
+the programmer's code -- it is unrolled from the algebraic
+description.  This module reproduces that model: declare task classes
+with callables over parameters, then :meth:`PTG.build` unrolls them
+into a concrete :class:`~repro.runtime.graph.TaskGraph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from .graph import TaskGraph
+from .task import Flow, Kernel, Task, TaskKey
+
+
+@dataclass(frozen=True)
+class Dependency:
+    """Symbolic input of a task class.
+
+    ``producer`` maps this task's parameters to the producing task's
+    key ``(class_name, *params)`` -- return ``None`` for "no
+    dependency at these parameters" (e.g. the first iteration has no
+    predecessor).  ``tag`` and ``nbytes`` may be constants or callables
+    of the parameters.
+    """
+
+    producer: Callable[..., TaskKey | None]
+    tag: str | Callable[..., str]
+    nbytes: int | Callable[..., int] = 0
+
+    def instantiate(self, *params) -> Flow | None:
+        key = self.producer(*params)
+        if key is None:
+            return None
+        tag = self.tag(*params) if callable(self.tag) else self.tag
+        nbytes = self.nbytes(*params) if callable(self.nbytes) else self.nbytes
+        return Flow(key, tag, nbytes)
+
+
+@dataclass
+class TaskClass:
+    """One parameterized task class.
+
+    Every per-task attribute is either a constant or a callable of the
+    parameter tuple, mirroring JDF's expressions.
+    """
+
+    name: str
+    parameter_space: Callable[[], Iterable[tuple]]
+    node: int | Callable[..., int]
+    dependencies: Sequence[Dependency] = ()
+    outputs: Mapping[str, int] | Callable[..., Mapping[str, int]] | None = None
+    cost: float | Callable[..., float] = 0.0
+    flops: float | Callable[..., float] = 0.0
+    redundant_flops: float | Callable[..., float] = 0.0
+    priority: int | Callable[..., int] = 0
+    kind: str | None = None
+    kernel: Kernel | None = None
+
+    def _eval(self, attr: Any, params: tuple) -> Any:
+        return attr(*params) if callable(attr) else attr
+
+    def instantiate(self, params: tuple) -> Task:
+        flows = []
+        for dep in self.dependencies:
+            flow = dep.instantiate(*params)
+            if flow is not None:
+                flows.append(flow)
+        outputs = self._eval(self.outputs, params) or {}
+        return Task(
+            key=(self.name, *params),
+            node=self._eval(self.node, params),
+            inputs=tuple(flows),
+            cost=self._eval(self.cost, params),
+            flops=self._eval(self.flops, params),
+            redundant_flops=self._eval(self.redundant_flops, params),
+            kernel=self.kernel,
+            out_nbytes=dict(outputs),
+            priority=self._eval(self.priority, params),
+            kind=self.kind or self.name,
+        )
+
+
+class PTG:
+    """A collection of task classes that unrolls into a TaskGraph.
+
+    Example -- a 1D pipeline ``f(i)`` where each task reads its
+    predecessor::
+
+        ptg = PTG()
+        ptg.add_class(TaskClass(
+            name="f",
+            parameter_space=lambda: ((i,) for i in range(10)),
+            node=lambda i: i % 4,
+            dependencies=[Dependency(
+                producer=lambda i: ("f", i - 1) if i > 0 else None,
+                tag="out", nbytes=8)],
+            outputs={"out": 8},
+            cost=1e-6,
+        ))
+        graph = ptg.build()
+    """
+
+    def __init__(self) -> None:
+        self.classes: dict[str, TaskClass] = {}
+
+    def add_class(self, cls: TaskClass) -> TaskClass:
+        if cls.name in self.classes:
+            raise ValueError(f"duplicate task class {cls.name!r}")
+        self.classes[cls.name] = cls
+        return cls
+
+    def build(self) -> TaskGraph:
+        """Unroll every class over its parameter space and finalize."""
+        graph = TaskGraph()
+        for cls in self.classes.values():
+            for params in cls.parameter_space():
+                graph.add(cls.instantiate(tuple(params)))
+        return graph.finalize()

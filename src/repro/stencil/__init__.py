@@ -1,0 +1,33 @@
+"""Stencil kernels, problem specs, the reference solver and the kernel
+cost model."""
+
+from .cost import KernelCostModel
+from .kernels import (
+    FLOP_PER_POINT,
+    StencilWeights,
+    jacobi_sweep_framed,
+    jacobi_update_region,
+    region_flops,
+)
+from .problem import JacobiProblem
+from .reference import jacobi_reference, residual_norm
+from .variable import (
+    VariableStencilWeights,
+    apply_stencil_region,
+    jacobi_update_region_variable,
+)
+
+__all__ = [
+    "FLOP_PER_POINT",
+    "JacobiProblem",
+    "KernelCostModel",
+    "StencilWeights",
+    "VariableStencilWeights",
+    "apply_stencil_region",
+    "jacobi_reference",
+    "jacobi_sweep_framed",
+    "jacobi_update_region",
+    "jacobi_update_region_variable",
+    "region_flops",
+    "residual_norm",
+]

@@ -1,0 +1,132 @@
+"""Kernel cost model: how long a stencil task takes on the machine.
+
+The stencil is memory-bound, so task duration is modelled as bytes
+moved over achievable per-worker bandwidth (roofline), with three
+refinements the paper's evaluation depends on:
+
+* **kernel efficiency** -- the unoptimised loop kernel reaches only a
+  fraction of the STREAM bound (Fig. 6: ~11 of 15-22 GFLOP/s on NaCL);
+* **cache spill** -- tiles whose working set exceeds the per-worker L3
+  share pay the uncached 24 B/point instead of ~20 B/point (the gentle
+  right-hand decline of Fig. 6);
+* **kernel adjustment ratio** -- section VI-D's knob: only a
+  ``(ratio*mb) x (ratio*nb)`` portion of the tile is updated,
+  emulating a faster memory system.  Following the paper, the ratio
+  run "simulates the kernel time without the extra computation", so
+  redundant CA halo work is excluded from task time when ratio < 1,
+  while ghost-copy costs remain (they are what make the CA kernel's
+  median time longer in Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.machine import MachineSpec
+from .kernels import FLOP_PER_POINT
+
+
+@dataclass(frozen=True)
+class KernelCostModel:
+    """Time model for stencil tasks on one machine.
+
+    Parameters
+    ----------
+    machine:
+        Machine model (node bandwidths, cache, core counts).
+    ratio:
+        Kernel adjustment ratio r in (0, 1]: updated points scale by
+        r^2, reproducing the paper's tuned-kernel experiments.
+    include_redundant:
+        Charge CA's replicated halo updates.  Default: only when
+        ratio == 1 (real kernels), per the paper's simulation choice.
+    bytes_per_point:
+        Memory traffic per updated point with cache-resident
+        neighbours (read x, write x': 16 B, plus partial top/bottom
+        row misses: ~20 B).
+    bytes_per_point_spill:
+        Traffic when the tile working set spills out of the L3 share
+        (all three rows miss: 24 B).
+    l3_bytes:
+        Node L3 capacity used to detect spills (2 x 12 MB on NaCL,
+        2 x 33 MB on Stampede2-SKX); 0 (the default) takes the value
+        from the machine's node spec.
+    """
+
+    machine: MachineSpec
+    ratio: float = 1.0
+    include_redundant: bool | None = None
+    bytes_per_point: float = 20.0
+    bytes_per_point_spill: float = 24.0
+    l3_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ratio <= 1.0:
+            raise ValueError("kernel adjustment ratio must be in (0, 1]")
+        if self.bytes_per_point <= 0 or self.bytes_per_point_spill < self.bytes_per_point:
+            raise ValueError("bytes/point must be positive and spill >= cached")
+
+    @property
+    def charges_redundant(self) -> bool:
+        if self.include_redundant is not None:
+            return self.include_redundant
+        return self.ratio == 1.0
+
+    def _bpp(self, tile_points: int, workers: int) -> float:
+        """Bytes per point for a tile of ``tile_points`` cells: spills
+        when read+write working set exceeds this worker's L3 share."""
+        l3 = self.l3_bytes if self.l3_bytes else self.machine.node.l3_bytes
+        if l3 > 0:
+            working_set = 2 * 8 * tile_points
+            if working_set > l3 / max(1, workers):
+                return self.bytes_per_point_spill
+        return self.bytes_per_point
+
+    def point_time(self, tile_points: int, workers: int) -> float:
+        """Seconds per updated point for one worker among ``workers``
+        concurrently streaming cores."""
+        node = self.machine.node
+        bw = node.worker_stream_bw(workers) * node.kernel_efficiency
+        return self._bpp(tile_points, workers) / bw
+
+    def update_cost(
+        self,
+        core_points: int,
+        redundant_points: int,
+        tile_points: int,
+        workers: int,
+    ) -> float:
+        """Kernel time of one task updating ``core_points`` useful and
+        ``redundant_points`` replicated points."""
+        pt = self.point_time(tile_points, workers)
+        scale = self.ratio * self.ratio
+        cost = core_points * scale * pt
+        if self.charges_redundant:
+            cost += redundant_points * scale * pt
+        return cost
+
+    def copy_cost(self, nbytes: float) -> float:
+        """Ghost assembly / extended-array copy time.  Not scaled by
+        the adjustment ratio: the data movement of the task body
+        happens regardless of how much of the tile the simulated
+        kernel updates."""
+        return self.machine.local_copy_time(nbytes)
+
+    def task_cost(
+        self,
+        core_points: int,
+        redundant_points: int,
+        copy_bytes: float,
+        tile_points: int,
+        workers: int,
+    ) -> float:
+        """Total modelled task duration (kernel + copies)."""
+        return self.update_cost(
+            core_points, redundant_points, tile_points, workers
+        ) + self.copy_cost(copy_bytes)
+
+    def node_gflops_bound(self, workers: int) -> float:
+        """The single-node GFLOP/s this model can reach with every
+        worker busy on large-enough tiles -- the Fig. 6 plateau."""
+        pt = self.point_time(1, workers)
+        return workers * FLOP_PER_POINT / pt / 1e9

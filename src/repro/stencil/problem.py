@@ -1,0 +1,128 @@
+"""Problem specification: what to solve, independent of how.
+
+A :class:`JacobiProblem` bundles the grid extents, the stencil
+weights, the initial state, the Dirichlet boundary and the iteration
+count -- everything the three implementations share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..distgrid.boundary import DirichletBC
+from .kernels import FLOP_PER_POINT, StencilWeights
+from .reference import jacobi_reference
+
+Initializer = float | Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class JacobiProblem:
+    """A 2D 5-point Jacobi run.
+
+    Parameters
+    ----------
+    n:
+        Grid rows; ``ncols`` defaults to ``n`` (the paper's grids are
+        square: 20k, 23k, 27k, 55k).
+    iterations:
+        Jacobi sweeps to perform (the paper runs 100).
+    weights:
+        Stencil coefficients: a constant :class:`StencilWeights` (the
+        paper's evaluation) or a per-point
+        :class:`~repro.stencil.variable.VariableStencilWeights`.
+    init:
+        Initial grid values: a constant or a vectorised callable
+        ``f(rows, cols)`` over global indices.
+    bc:
+        Dirichlet boundary values surrounding the grid.
+    source:
+        Optional per-point forcing added after every sweep:
+        ``x' = S(x) + source``.  With weights ``damped_jacobi(omega)``
+        and ``source = omega*h^2/4 * f`` this is exactly the damped
+        Jacobi iteration for the Poisson problem ``-Lap(u) = f``, so
+        the task-based implementations solve real PDEs, not only
+        homogeneous sweeps.  Constant or vectorised callable of global
+        indices; None disables the term (and its memory traffic).
+    """
+
+    n: int
+    iterations: int
+    ncols: int | None = None
+    weights: StencilWeights = field(default_factory=StencilWeights.laplace_jacobi)
+    init: Initializer = 0.0
+    bc: DirichletBC = field(default_factory=lambda: DirichletBC(1.0))
+    source: Initializer | None = None
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or (self.ncols is not None and self.ncols < 1):
+            raise ValueError("grid extents must be positive")
+        if self.iterations < 0:
+            raise ValueError("iteration count cannot be negative")
+
+    @property
+    def nrows(self) -> int:
+        return self.n
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n, self.ncols if self.ncols is not None else self.n)
+
+    @property
+    def points(self) -> int:
+        return self.shape[0] * self.shape[1]
+
+    @property
+    def total_flops(self) -> int:
+        """Nominal useful FLOP of the whole run: 9 n^2 per iteration,
+        the figure all the paper's GFLOP/s numbers divide by."""
+        return FLOP_PER_POINT * self.points * self.iterations
+
+    def initial_values(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Evaluate the initialiser on global index arrays."""
+        if callable(self.init):
+            out = np.asarray(self.init(rows, cols), dtype=np.float64)
+            if out.shape != rows.shape:
+                raise ValueError(
+                    f"initialiser returned shape {out.shape}, expected {rows.shape}"
+                )
+            return out
+        return np.full(rows.shape, float(self.init))
+
+    def initial_grid(self) -> np.ndarray:
+        rows, cols = np.meshgrid(
+            np.arange(self.shape[0]), np.arange(self.shape[1]), indexing="ij"
+        )
+        return self.initial_values(rows, cols)
+
+    def source_values(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray | None:
+        """Evaluate the forcing term on global index arrays (None when
+        the problem has no source)."""
+        if self.source is None:
+            return None
+        if callable(self.source):
+            out = np.asarray(self.source(rows, cols), dtype=np.float64)
+            if out.shape != rows.shape:
+                raise ValueError(
+                    f"source returned shape {out.shape}, expected {rows.shape}"
+                )
+            return out
+        return np.full(rows.shape, float(self.source))
+
+    def source_grid(self) -> np.ndarray | None:
+        if self.source is None:
+            return None
+        rows, cols = np.meshgrid(
+            np.arange(self.shape[0]), np.arange(self.shape[1]), indexing="ij"
+        )
+        return self.source_values(rows, cols)
+
+    def reference_solution(self) -> np.ndarray:
+        """Ground-truth final grid from the single-array solver."""
+        return jacobi_reference(
+            self.initial_grid(), self.weights, self.iterations, self.bc,
+            source=self.source_grid(),
+        )

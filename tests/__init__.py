@@ -1,0 +1,2 @@
+"""Test package (enables cross-module helpers like
+tests.test_engine.simple_machine)."""

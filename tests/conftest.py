@@ -1,0 +1,56 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distgrid.boundary import DirichletBC
+from repro.machine.machine import nacl
+from repro.stencil.kernels import StencilWeights
+from repro.stencil.problem import JacobiProblem
+
+
+def random_problem(
+    n: int,
+    iterations: int,
+    seed: int = 0,
+    ncols: int | None = None,
+    omega: float = 0.9,
+) -> JacobiProblem:
+    """A Jacobi problem with reproducible random initial data and a
+    non-trivial boundary, exercising every code path that constants
+    would mask."""
+    rng = np.random.default_rng(seed)
+    nc = ncols or n
+    values = rng.normal(size=(n, nc))
+
+    def init(rows, cols):
+        return values[np.clip(rows, 0, n - 1), np.clip(cols, 0, nc - 1)]
+
+    def bc(rows, cols):
+        return np.sin(0.1 * rows) + np.cos(0.2 * cols)
+
+    return JacobiProblem(
+        n=n,
+        ncols=ncols,
+        iterations=iterations,
+        init=init,
+        bc=DirichletBC(bc),
+        weights=StencilWeights.damped_jacobi(omega),
+    )
+
+
+@pytest.fixture
+def small_problem() -> JacobiProblem:
+    return random_problem(n=24, iterations=6)
+
+
+@pytest.fixture
+def machine4():
+    return nacl(4)
+
+
+@pytest.fixture
+def machine16():
+    return nacl(16)

@@ -1,0 +1,99 @@
+"""Closed-form communication forecasts vs the graph census."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.analytic import forecast, remote_edges, supersteps, surface_to_volume
+from repro.core.dataflow import build_stencil_graph
+from repro.core.spec import StencilSpec
+from repro.distgrid.partition import GridPartition, ProcessGrid
+from repro.machine.machine import nacl
+from repro.stencil.problem import JacobiProblem
+
+
+def make_spec(n=24, nodes=4, tile=4, steps=3, T=9, pgrid=None):
+    return StencilSpec.create(
+        JacobiProblem(n=n, iterations=T), nodes=nodes, tile=tile, steps=steps,
+        pgrid=pgrid,
+    )
+
+
+def test_remote_edges_2x2():
+    # 2x2 nodes, 6x6 tiles: 2 seams x 6 pairs x 2 directions.
+    assert remote_edges(make_spec()) == 24
+
+
+def test_supersteps():
+    assert supersteps(make_spec(T=9, steps=3)) == 3
+    assert supersteps(make_spec(T=10, steps=3)) == 4  # partial tail counts
+    assert supersteps(make_spec(T=0, steps=3)) == 0
+    assert supersteps(make_spec(T=5, steps=1)) == 5
+
+
+def test_forecast_matches_census_base():
+    spec = make_spec(steps=1, T=6)
+    fc = forecast(spec)
+    census = build_stencil_graph(spec, nacl(4), with_kernels=False).graph.census()
+    assert fc.messages == census.remote_messages
+    assert fc.bytes == census.remote_bytes
+    assert fc.redundant_points == 0
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.integers(1, 3), st.integers(1, 3), st.integers(2, 6),
+    st.integers(1, 4), st.integers(0, 9),
+)
+def test_forecast_matches_census_property(prows, pcols, tile, steps, T):
+    """Formula vs graph enumeration, arbitrary configurations."""
+    pgrid = ProcessGrid(prows, pcols)
+    nrows = max(prows * tile, 12)
+    ncols = max(pcols * tile, 10)
+    partition = GridPartition(nrows, ncols, pgrid, tile)
+    steps = min(steps, partition.min_tile_dim())
+    spec = StencilSpec(
+        problem=JacobiProblem(n=nrows, ncols=ncols, iterations=T),
+        partition=partition, steps=steps,
+    )
+    fc = forecast(spec)
+    graph = build_stencil_graph(spec, nacl(pgrid.size), with_kernels=False).graph
+    census = graph.census()
+    assert fc.messages == census.remote_messages
+    assert fc.bytes == census.remote_bytes
+    useful, redundant = graph.total_flops()
+    assert fc.redundant_points * 9 == redundant
+
+
+def test_forecast_redundant_counts_partial_tail():
+    full = forecast(make_spec(steps=3, T=9)).redundant_points
+    partial = forecast(make_spec(steps=3, T=10)).redundant_points
+    # The 10th iteration is a refresh phase (max halo): strictly more.
+    assert partial > full
+
+
+def test_surface_to_volume_prefers_square_grids():
+    """The paper's 2D block distribution argument, quantified."""
+    square = surface_to_volume(make_spec(n=24, nodes=4, tile=4, steps=2,
+                                         pgrid=ProcessGrid(2, 2)))
+    strip = surface_to_volume(make_spec(n=24, nodes=4, tile=4, steps=2,
+                                        pgrid=ProcessGrid(1, 4)))
+    assert square < strip
+    # Single node: no surface at all.
+    assert surface_to_volume(make_spec(nodes=1, pgrid=ProcessGrid(1, 1))) == 0.0
+
+
+def test_runner_accepts_custom_pgrid():
+    import numpy as np
+
+    from repro.core.runner import run
+    from tests.conftest import random_problem
+
+    prob = random_problem(n=24, iterations=5, seed=3)
+    strip = run(prob, impl="ca-parsec", machine=nacl(4), tile=4, steps=2,
+                mode="execute", pgrid=ProcessGrid(1, 4))
+    assert np.array_equal(strip.grid, prob.reference_solution())
+    square = run(prob, impl="base-parsec", machine=nacl(4), tile=4,
+                 mode="simulate", pgrid=ProcessGrid(2, 2))
+    stripe = run(prob, impl="base-parsec", machine=nacl(4), tile=4,
+                 mode="simulate", pgrid=ProcessGrid(1, 4))
+    # Strips move more ghost bytes (worse surface-to-volume).
+    assert stripe.message_bytes > square.message_bytes

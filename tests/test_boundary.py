@@ -1,0 +1,62 @@
+"""Dirichlet boundary handling."""
+
+import numpy as np
+import pytest
+
+from repro.distgrid.boundary import DirichletBC
+from repro.distgrid.tile import TileSpec
+
+
+def corner_tile():
+    """Tile at the global NW corner of an 8x8 grid (no N/W neighbours)."""
+    return TileSpec(
+        i=0, j=0, r0=0, r1=4, c0=0, c1=4, node=0,
+        pads=(1, 1, 1, 1),
+        remote=(False, False, False, False),
+        has_neighbor=(False, True, False, True),
+    )
+
+
+def test_constant_bc_fills_exterior_only():
+    t = corner_tile()
+    ext = t.alloc_ext(fill=5.0)
+    DirichletBC(9.0).fill_exterior(ext, t, nrows=8, ncols=8)
+    # North pad (global row -1) and west pad (global col -1) are BC...
+    assert np.all(ext[0, :] == 9.0)
+    assert np.all(ext[:, 0] == 9.0)
+    # ...interior pads (south/east, real neighbours) untouched.
+    assert np.all(ext[-1, 1:] == 5.0)
+    assert np.all(ext[1:, -1] == 5.0)
+    assert np.all(ext[1:-1, 1:-1] == 5.0)
+
+
+def test_function_bc_values():
+    t = corner_tile()
+    ext = t.alloc_ext()
+    bc = DirichletBC(lambda r, c: 100.0 * r + c)
+    bc.fill_exterior(ext, t, nrows=8, ncols=8)
+    # Global cell (-1, 2) sits at ext[0, 3].
+    assert ext[0, 3] == pytest.approx(-100.0 + 2.0)
+    # Corner (-1, -1).
+    assert ext[0, 0] == pytest.approx(-101.0)
+
+
+def test_function_bc_shape_checked():
+    bad = DirichletBC(lambda r, c: np.zeros(3))
+    with pytest.raises(ValueError):
+        bad.evaluate(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+def test_frame():
+    bc = DirichletBC(2.5)
+    framed = bc.frame(3, 4, depth=1)
+    assert framed.shape == (5, 6)
+    assert np.all(framed[0, :] == 2.5) and np.all(framed[:, 0] == 2.5)
+    assert np.all(framed[1:-1, 1:-1] == 0.0)
+
+
+def test_frame_function_matches_coordinates():
+    bc = DirichletBC(lambda r, c: r * 10.0 + c)
+    framed = bc.frame(2, 2, depth=1)
+    assert framed[0, 0] == pytest.approx(-11.0)  # (-1, -1)
+    assert framed[3, 3] == pytest.approx(2 * 10 + 2)  # (2, 2)

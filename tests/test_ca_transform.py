@@ -1,0 +1,70 @@
+"""The automatic-CA transform (the paper's future-work feature)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base_parsec import build_base_graph
+from repro.machine.machine import nacl
+from repro.runtime.ca_transform import apply_communication_avoidance, plan, transform_build
+from repro.runtime.engine import Engine
+
+from .conftest import random_problem
+
+
+def base_build(n=24, nodes=4, tile=4, T=6, seed=0):
+    prob = random_problem(n=n, iterations=T, seed=seed)
+    return build_base_graph(prob, nacl(nodes), tile=tile, with_kernels=False)
+
+
+def test_transform_preserves_problem_and_partition():
+    b = base_build()
+    ca_spec = apply_communication_avoidance(b.spec, steps=3)
+    assert ca_spec.steps == 3
+    assert ca_spec.problem is b.spec.problem
+    assert ca_spec.partition == b.spec.partition
+
+
+def test_transform_validation():
+    b = base_build()
+    with pytest.raises(ValueError):
+        apply_communication_avoidance(b.spec, steps=0)
+    with pytest.raises(ValueError, match="smallest tile"):
+        apply_communication_avoidance(b.spec, steps=9)
+    ca_spec = apply_communication_avoidance(b.spec, steps=2)
+    with pytest.raises(ValueError, match="base"):
+        apply_communication_avoidance(ca_spec, steps=3)
+    with pytest.raises(TypeError):
+        apply_communication_avoidance("not a spec", steps=2)
+
+
+def test_plan_quantifies_replication():
+    b = base_build()
+    p = plan(b.spec, steps=3)
+    assert p.steps == 3
+    assert p.boundary_tiles == 20 and p.interior_tiles == 16
+    assert p.extra_ghost_bytes > 0
+    # 24 remote edges per superstep: 24 deep strips + corner blocks vs
+    # 24 * 3 base messages (corners weigh heavily on this tiny config).
+    assert 0.0 < p.messages_saved_fraction < 0.9
+    # Deeper steps amortise the corners away.
+    deeper = plan(b.spec, steps=4)
+    assert deeper.messages_saved_fraction > p.messages_saved_fraction
+    assert deeper.extra_ghost_bytes > p.extra_ghost_bytes
+
+
+def test_transformed_build_is_numerically_exact():
+    prob = random_problem(n=24, iterations=7, seed=5)
+    machine = nacl(4)
+    base = build_base_graph(prob, machine, tile=4, with_kernels=False)
+    ca = transform_build(base, machine, steps=3)
+    rep = Engine(ca.graph, machine, execute=True).run()
+    assert np.array_equal(ca.assemble_grid(rep.results), prob.reference_solution())
+
+
+def test_transformed_build_saves_messages():
+    prob = random_problem(n=24, iterations=6, seed=2)
+    machine = nacl(4)
+    base = build_base_graph(prob, machine, tile=4, with_kernels=False)
+    ca = transform_build(base, machine, steps=3, with_kernels=False)
+    assert ca.graph.census().remote_messages < base.graph.census().remote_messages
+    assert ca.name == "ca-auto"

@@ -1,0 +1,73 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_machines_lists_presets(capsys):
+    assert main(["machines"]) == 0
+    out = capsys.readouterr().out
+    assert "nacl" in out and "stampede2" in out and "summit-like" in out
+
+
+def test_run_simulate(capsys):
+    rc = main(["run", "--impl", "base-parsec", "--machine", "nacl",
+               "--nodes", "4", "--n", "576", "--iterations", "5",
+               "--tile", "144"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "GFLOP/s" in out and "base-parsec" in out
+
+
+def test_run_execute_validates(capsys):
+    rc = main(["run", "--impl", "ca-parsec", "--n", "48", "--iterations", "6",
+               "--tile", "12", "--steps", "4", "--execute"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "max |error| vs reference: 0.000e+00" in out
+
+
+def test_run_writes_chrome_trace(tmp_path, capsys):
+    path = tmp_path / "t.json"
+    rc = main(["run", "--n", "288", "--iterations", "4", "--tile", "96",
+               "--steps", "4", "--trace-out", str(path)])
+    assert rc == 0
+    doc = json.loads(path.read_text())
+    assert doc["traceEvents"]
+
+
+def test_validate_command(capsys):
+    rc = main(["validate", "--n", "24", "--iterations", "4",
+               "--tile", "6", "--steps", "2"])
+    assert rc == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_experiment_list(capsys):
+    assert main(["experiment", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig7" in out and "headlines" in out
+
+
+def test_experiment_table1(capsys):
+    assert main(["experiment", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "9,814.2" in out and "paper (MB/s)" in out
+
+
+def test_experiment_roofline(capsys):
+    assert main(["experiment", "roofline"]) == 0
+    assert "paper brackets" in capsys.readouterr().out
+
+
+def test_experiment_unknown():
+    with pytest.raises(KeyError):
+        main(["experiment", "fig99"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,80 @@
+"""Kernel cost model: roofline timing, ratio semantics, cache spill."""
+
+import pytest
+
+from repro.machine.machine import nacl, stampede2
+from repro.stencil.cost import KernelCostModel
+
+
+def test_point_time_uses_shared_bandwidth():
+    m = nacl()
+    cm = KernelCostModel(m)
+    workers = m.node.compute_cores
+    bw = m.node.worker_stream_bw(workers) * m.node.kernel_efficiency
+    assert cm.point_time(100, workers) == pytest.approx(20.0 / bw)
+
+
+def test_plateau_matches_paper():
+    assert KernelCostModel(nacl()).node_gflops_bound(11) == pytest.approx(11.0, rel=0.05)
+    assert KernelCostModel(stampede2()).node_gflops_bound(47) == pytest.approx(43.5, rel=0.05)
+
+
+def test_ratio_scales_quadratically():
+    m = nacl()
+    full = KernelCostModel(m).update_cost(1000, 0, 1000, 11)
+    tuned = KernelCostModel(m, ratio=0.5).update_cost(1000, 0, 1000, 11)
+    assert tuned == pytest.approx(0.25 * full)
+
+
+def test_redundant_work_charged_only_at_full_ratio():
+    m = nacl()
+    full = KernelCostModel(m)
+    assert full.charges_redundant
+    with_halo = full.update_cost(1000, 200, 1000, 11)
+    without = full.update_cost(1000, 0, 1000, 11)
+    assert with_halo == pytest.approx(without * 1.2)
+    # Paper: the ratio simulation excludes the replicated computation.
+    tuned = KernelCostModel(m, ratio=0.4)
+    assert not tuned.charges_redundant
+    assert tuned.update_cost(1000, 200, 1000, 11) == tuned.update_cost(1000, 0, 1000, 11)
+    # Override restores it.
+    forced = KernelCostModel(m, ratio=0.4, include_redundant=True)
+    assert forced.charges_redundant
+
+
+def test_copy_cost_not_scaled_by_ratio():
+    m = nacl()
+    assert KernelCostModel(m, ratio=0.2).copy_cost(1024) == pytest.approx(
+        KernelCostModel(m).copy_cost(1024)
+    )
+
+
+def test_cache_spill_raises_bytes_per_point():
+    m = nacl()  # 24 MB L3
+    cm = KernelCostModel(m)
+    small = cm.point_time(100 * 100, 11)
+    # 1200^2 doubles: 2*8*1.44M = 23 MB working set >> 24MB/11.
+    big = cm.point_time(1200 * 1200, 11)
+    assert big == pytest.approx(small * 24.0 / 20.0)
+
+
+def test_spill_disabled_on_stampede2():
+    cm = KernelCostModel(stampede2())
+    assert cm.point_time(100, 47) == cm.point_time(4000 * 4000, 47)
+
+
+def test_task_cost_composes():
+    m = nacl()
+    cm = KernelCostModel(m)
+    assert cm.task_cost(1000, 0, 4096, 1000, 11) == pytest.approx(
+        cm.update_cost(1000, 0, 1000, 11) + cm.copy_cost(4096)
+    )
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        KernelCostModel(nacl(), ratio=0.0)
+    with pytest.raises(ValueError):
+        KernelCostModel(nacl(), ratio=1.5)
+    with pytest.raises(ValueError):
+        KernelCostModel(nacl(), bytes_per_point=30, bytes_per_point_spill=20)

@@ -1,0 +1,109 @@
+"""The stencil graph builder: structure, costs, numerical execution."""
+
+import numpy as np
+
+from repro.core.dataflow import build_stencil_graph
+from repro.core.spec import StencilSpec
+from repro.machine.machine import nacl
+from repro.runtime.engine import Engine
+
+from .conftest import random_problem
+
+
+def build(n=24, nodes=4, tile=4, steps=3, T=7, seed=0, with_kernels=True):
+    prob = random_problem(n=n, iterations=T, seed=seed)
+    spec = StencilSpec.create(prob, nodes=nodes, tile=tile, steps=steps)
+    return build_stencil_graph(spec, nacl(nodes), with_kernels=with_kernels)
+
+
+def test_task_count():
+    built = build(T=7)
+    tiles = 6 * 6
+    assert len(built.graph) == tiles * (7 + 1)  # init + 7 iterations
+
+
+def test_kind_labels():
+    built = build()
+    kinds = {}
+    for task in built.graph:
+        kinds[task.kind] = kinds.get(task.kind, 0) + 1
+    assert kinds["init"] == 36
+    assert kinds["boundary"] == 20 * 7
+    assert kinds["interior"] == 16 * 7
+
+
+def test_message_counts_base_vs_ca():
+    """Base sends every iteration; CA only at refreshes (plus corners)."""
+    base = build(steps=1, T=6, with_kernels=False).graph.census()
+    ca = build(steps=3, T=6, with_kernels=False).graph.census()
+    # 2x2 nodes, 6x6 tiles: two internal seams x 6 tile pairs x 2
+    # directions -> 24 messages per exchanging iteration.
+    assert base.remote_messages == 24 * 6
+    # CA: refreshes at t = 0, 3 -> 2 per seam-edge, plus corner blocks.
+    deep = 24 * 2
+    corners = ca.remote_messages - deep
+    assert corners > 0
+    assert ca.remote_messages < base.remote_messages
+    # CA moves more bytes total (replication).
+    assert ca.remote_bytes > base.remote_bytes
+
+
+def test_redundant_flops_only_in_ca():
+    base = build(steps=1, with_kernels=False).graph
+    ca = build(steps=3, with_kernels=False).graph
+    assert base.total_flops()[1] == 0
+    assert ca.total_flops()[1] > 0
+    # Useful flops identical: 9 per core point per iteration.
+    assert base.total_flops()[0] == ca.total_flops()[0] == 9 * 24 * 24 * 7
+
+
+def test_boundary_priority_bias():
+    built = build()
+    t = 3
+    boundary = built.graph[("st", 2, 2, t)]
+    interior = built.graph[("st", 1, 1, t)]
+    assert boundary.kind == "boundary" and interior.kind == "interior"
+    assert boundary.priority == interior.priority + 1
+    # Earlier iterations always outrank later ones.
+    assert built.graph[("st", 1, 1, t)].priority > built.graph[("st", 2, 2, t + 1)].priority
+
+
+def test_execution_matches_reference():
+    built = build(seed=11)
+    rep = Engine(built.graph, nacl(4), execute=True).run()
+    grid = built.assemble_grid(rep.results)
+    ref = built.spec.problem.reference_solution()
+    assert np.array_equal(grid, ref)
+
+
+def test_zero_iterations_returns_initial_grid():
+    prob = random_problem(n=12, iterations=0, seed=3)
+    spec = StencilSpec.create(prob, nodes=4, tile=3, steps=1)
+    built = build_stencil_graph(spec, nacl(4))
+    rep = Engine(built.graph, nacl(4), execute=True).run()
+    assert np.array_equal(built.assemble_grid(rep.results), prob.initial_grid())
+
+
+def test_with_kernels_false_has_no_kernels():
+    built = build(with_kernels=False)
+    assert all(t.kernel is None for t in built.graph)
+
+
+def test_costs_positive_and_boundary_heavier_at_refresh():
+    built = build(steps=3, with_kernels=False)
+    g = built.graph
+    interior = g[("st", 1, 1, 0)]
+    boundary_refresh = g[("st", 2, 2, 0)]
+    boundary_quiet = g[("st", 2, 2, 2)]
+    assert interior.cost > 0
+    # Refresh tasks paste deep strips + redundant halo work.
+    assert boundary_refresh.cost > boundary_quiet.cost
+    assert boundary_refresh.cost > interior.cost
+
+
+def test_same_node_tile_flow_is_zero_bytes():
+    built = build(with_kernels=False)
+    for task in built.graph:
+        for flow in task.inputs:
+            if flow.tag == "tile":
+                assert flow.nbytes == 0

@@ -1,0 +1,124 @@
+"""Dynamic Task Discovery: dependence inference from access modes."""
+
+import pytest
+
+from repro.machine.machine import nacl
+from repro.runtime.dtd import IN, INOUT, OUT, DTDRuntime
+from repro.runtime.engine import Engine
+from repro.runtime.graph import TaskGraph
+
+
+def writer_kernel(value):
+    def kernel(ins, task):
+        return {next(iter(task.out_nbytes)): value}
+
+    return kernel
+
+
+def test_raw_chain_executes_in_order():
+    dtd = DTDRuntime()
+    x = dtd.data("x", node=0, nbytes=8, initial=0.0)
+
+    def increment(ins, task):
+        (prev,) = [v for v in ins.values()]
+        return {next(iter(task.out_nbytes)): prev + 1.0}
+
+    for _ in range(5):
+        dtd.insert_task(increment, node=0, accesses=[(x, INOUT)], cost=1e-6)
+    g = dtd.graph()
+    rep = Engine(g, nacl(1), execute=True).run()
+    final = [v for (key, tag), v in rep.results.items() if tag.startswith("x#")]
+    assert final == [5.0]
+
+
+def test_raw_dependency_edges():
+    dtd = DTDRuntime()
+    x = dtd.data("x", node=0, nbytes=8)
+    w = dtd.insert_task(None, node=0, accesses=[(x, INOUT)])
+    r = dtd.insert_task(None, node=0, accesses=[(x, IN)])
+    assert any(f.producer == w.key and f.nbytes == 8 for f in r.inputs)
+
+
+def test_war_dependency_is_control_edge():
+    dtd = DTDRuntime()
+    x = dtd.data("x", node=0, nbytes=8)
+    r = dtd.insert_task(None, node=0, accesses=[(x, IN)])
+    w = dtd.insert_task(None, node=0, accesses=[(x, INOUT)])
+    war = [f for f in w.inputs if f.producer == r.key]
+    assert len(war) == 1 and war[0].nbytes == 0
+
+
+def test_waw_ordering_for_pure_out():
+    dtd = DTDRuntime()
+    x = dtd.data("x", node=0, nbytes=8)
+    w1 = dtd.insert_task(None, node=0, accesses=[(x, OUT)])
+    w2 = dtd.insert_task(None, node=0, accesses=[(x, OUT)])
+    # w2 must order after w1 (control edge), but not read its data.
+    ctl = [f for f in w2.inputs if f.producer == w1.key]
+    assert len(ctl) == 1 and ctl[0].nbytes == 0
+
+
+def test_parallel_readers_share_version():
+    dtd = DTDRuntime()
+    x = dtd.data("x", node=0, nbytes=8)
+    w = dtd.insert_task(None, node=0, accesses=[(x, INOUT)])
+    r1 = dtd.insert_task(None, node=0, accesses=[(x, IN)])
+    r2 = dtd.insert_task(None, node=0, accesses=[(x, IN)])
+    # Both readers consume the same version; neither depends on the other.
+    assert not any(f.producer == r1.key for f in r2.inputs)
+    tag1 = [f.tag for f in r1.inputs if f.producer == w.key]
+    tag2 = [f.tag for f in r2.inputs if f.producer == w.key]
+    assert tag1 == tag2
+
+
+def test_versions_bump_per_write():
+    dtd = DTDRuntime()
+    x = dtd.data("x", node=0, nbytes=8)
+    assert x.version == 0
+    dtd.insert_task(None, node=0, accesses=[(x, INOUT)])
+    assert x.version == 1
+    dtd.insert_task(None, node=0, accesses=[(x, OUT)])
+    assert x.version == 2
+
+
+def test_cross_node_dtd_generates_messages():
+    dtd = DTDRuntime()
+    x = dtd.data("x", node=0, nbytes=1000, initial=2.0)
+    dtd.insert_task(
+        lambda ins, task: {next(iter(task.out_nbytes)): 3.0},
+        node=1, accesses=[(x, INOUT)], cost=1e-6,
+    )
+    g = dtd.graph()
+    rep = Engine(g, nacl(2), execute=True).run()
+    assert rep.messages >= 1  # version 0 moved from node 0 to node 1
+
+
+def test_duplicate_handle_name_rejected():
+    dtd = DTDRuntime()
+    dtd.data("x", node=0, nbytes=8)
+    with pytest.raises(ValueError):
+        dtd.data("x", node=0, nbytes=8)
+
+
+def test_handle_listed_twice_rejected():
+    dtd = DTDRuntime()
+    x = dtd.data("x", node=0, nbytes=8)
+    with pytest.raises(ValueError):
+        dtd.insert_task(None, node=0, accesses=[(x, IN), (x, OUT)])
+
+
+def test_bad_access_mode_rejected():
+    dtd = DTDRuntime()
+    x = dtd.data("x", node=0, nbytes=8)
+    with pytest.raises(ValueError):
+        dtd.insert_task(None, node=0, accesses=[(x, "RW")])
+
+
+def test_graph_is_valid_taskgraph():
+    dtd = DTDRuntime()
+    x = dtd.data("x", node=0, nbytes=8)
+    y = dtd.data("y", node=0, nbytes=8)
+    dtd.insert_task(None, node=0, accesses=[(x, IN), (y, INOUT)])
+    g = dtd.graph()
+    assert isinstance(g, TaskGraph) and g.finalized
+    assert len(g) == 3  # 2 init + 1 task

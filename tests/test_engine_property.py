@@ -1,0 +1,102 @@
+"""Property-based invariants of the engine and graph machinery."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.runtime.engine import Engine
+from repro.runtime.graph import TaskGraph
+from repro.runtime.task import Flow
+
+from .test_engine import simple_machine
+
+
+@st.composite
+def layered_graphs(draw):
+    """Random layered DAGs: tasks in layer L depend on a subset of
+    layer L-1 (always acyclic, arbitrary fan-in/out and node mix)."""
+    nodes = draw(st.integers(1, 4))
+    layers = draw(st.integers(1, 5))
+    width = draw(st.integers(1, 6))
+    g = TaskGraph()
+    prev: list = []
+    for layer in range(layers):
+        current = []
+        count = draw(st.integers(1, width))
+        for k in range(count):
+            key = (layer, k)
+            node = draw(st.integers(0, nodes - 1))
+            deps = []
+            if prev:
+                chosen = draw(st.lists(st.sampled_from(prev), unique=True, max_size=len(prev)))
+                deps = [Flow(p, "o", draw(st.integers(0, 4096))) for p in chosen]
+            g.add_task(
+                key, node=node, cost=draw(st.floats(0.0, 1e-3)),
+                inputs=tuple(deps), out_nbytes={"o": 8},
+                priority=draw(st.integers(-5, 5)),
+            )
+            current.append(key)
+        prev = current
+    return g, nodes
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(layered_graphs(), st.sampled_from(["fifo", "lifo", "priority"]),
+       st.booleans())
+def test_every_task_runs_exactly_once(data, policy, overlap):
+    g, nodes = data
+    machine = simple_machine(nodes=nodes)
+    rep = Engine(g, machine, policy=policy, overlap=overlap).run()
+    assert rep.tasks_run == len(g)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(layered_graphs())
+def test_dynamic_message_accounting_equals_census(data):
+    g, nodes = data
+    census = g.finalize().census()
+    rep = Engine(g, simple_machine(nodes=nodes)).run()
+    assert rep.messages == census.remote_messages
+    assert rep.message_bytes == census.remote_bytes
+    assert rep.local_edges == census.local_edges
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(layered_graphs(), st.sampled_from(["fifo", "lifo", "priority"]))
+def test_trace_spans_never_overlap_and_cover_busy_time(data, policy):
+    g, nodes = data
+    machine = simple_machine(nodes=nodes)
+    eng = Engine(g, machine, policy=policy, trace=True)
+    rep = eng.run()
+    eng.trace.validate_no_overlap()
+    # Trace compute time equals accounted busy time.
+    traced = sum(s.duration for s in eng.trace.compute_spans())
+    assert abs(traced - sum(rep.node_busy.values())) < 1e-9
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(layered_graphs())
+def test_elapsed_at_least_critical_path(data):
+    g, nodes = data
+    g.finalize()
+    cp = g.critical_path()
+    rep = Engine(g, simple_machine(nodes=nodes), charge_task_overhead=False).run()
+    assert rep.elapsed >= cp - 1e-12
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(layered_graphs())
+def test_elapsed_at_most_serialized_work_plus_comm(data):
+    """Sanity upper bound: a single worker doing everything plus every
+    message end to end."""
+    g, nodes = data
+    g.finalize()
+    machine = simple_machine(nodes=nodes)
+    total_cost = sum(t.cost for t in g) + len(g) * machine.node.task_overhead
+    census = g.census()
+    per_msg = (
+        2 * machine.network.software_overhead
+        + machine.network.latency
+    )
+    comm = census.remote_messages * per_msg + census.remote_bytes / machine.network.effective_bw
+    rep = Engine(g, machine).run()
+    assert rep.elapsed <= total_cost + comm + 1e-9

@@ -1,0 +1,104 @@
+"""Experiment modules: smoke tests on tiny configurations plus the
+cheap calibration checks (the full-size shape checks live in
+benchmarks/)."""
+
+import pytest
+
+from repro.experiments import (
+    NACL,
+    REGISTRY,
+    STAMPEDE2,
+    MachineSetup,
+    full_mode,
+    get,
+    iterations,
+    setup_by_name,
+)
+from repro.experiments import (
+    fig5_netpipe,
+    fig7_strong_scaling,
+    fig8_kernel_ratio,
+    fig9_stepsize,
+    roofline_exp,
+    table1_stream,
+)
+
+TINY = MachineSetup(name="NaCL", problem_n=1152, tile=144,
+                    tuning_problem_n=1152, steps=12)
+
+
+def test_registry_covers_every_artifact():
+    assert set(REGISTRY) == {
+        "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+        "roofline", "headlines",
+    }
+    assert get("fig7").paper_artifact == "Figure 7"
+    with pytest.raises(KeyError):
+        get("fig11")
+
+
+def test_full_mode_env(monkeypatch):
+    monkeypatch.delenv("REPRO_FULL", raising=False)
+    assert not full_mode()
+    assert iterations(8, 100) == 8
+    monkeypatch.setenv("REPRO_FULL", "1")
+    assert full_mode()
+    assert iterations(8, 100) == 100
+
+
+def test_setup_lookup():
+    assert setup_by_name("nacl") is NACL
+    assert setup_by_name("Stampede2") is STAMPEDE2
+    with pytest.raises(KeyError):
+        setup_by_name("summit")
+
+
+def test_paper_parameters():
+    assert NACL.problem_n == 23040 and NACL.tile == 288
+    assert STAMPEDE2.problem_n == 55296 and STAMPEDE2.tile == 864
+    assert NACL.steps == 15
+    assert NACL.machine(16).nodes == 16
+
+
+def test_table1_calibrated():
+    assert table1_stream.max_relative_error() < 1e-6
+    assert len(table1_stream.rows()) == 4
+
+
+def test_roofline_calibrated():
+    assert roofline_exp.max_relative_error() < 0.05
+
+
+def test_fig5_effective_peaks():
+    na, s2 = fig5_netpipe.effective_peaks_gbit()
+    assert na == pytest.approx(27.0) and s2 == pytest.approx(86.0)
+    sizes, na_frac, s2_frac = fig5_netpipe.curves(1024, 65536)
+    assert len(sizes) == 7
+    assert na_frac == sorted(na_frac)
+
+
+def test_fig7_sweep_tiny():
+    points = fig7_strong_scaling.sweep(TINY, node_counts=(4,))
+    impls = {p.impl for p in points}
+    assert impls == {"petsc", "base-parsec", "ca-parsec"}
+    ratios = fig7_strong_scaling.parsec_over_petsc(points)
+    assert len(ratios) == 1 and ratios[0] > 1.0
+
+
+def test_fig8_sweep_tiny():
+    points = fig8_kernel_ratio.sweep(TINY, node_counts=(4,), ratios=(0.5, 1.0))
+    assert len(points) == 2
+    best = fig8_kernel_ratio.best_gain(points)
+    assert best.ratio in (0.5, 1.0)
+    rows = fig8_kernel_ratio.rows(TINY, node_counts=(4,), ratios=(0.5,))
+    assert rows[0][0] == 4 and rows[0][1] == 0.5
+
+
+def test_fig9_optimal_step_lookup():
+    points = fig9_stepsize.sweep(
+        TINY, node_counts=(4,), ratios=(0.5,), step_sizes=(4, 12)
+    )
+    opt = fig9_stepsize.optimal_step(points, nodes=4, ratio=0.5)
+    assert opt.steps in (4, 12)
+    with pytest.raises(KeyError):
+        fig9_stepsize.optimal_step(points, nodes=16, ratio=0.5)

@@ -1,0 +1,117 @@
+"""TaskGraph: construction, validation, static analysis."""
+
+import pytest
+
+from repro.runtime.graph import GraphError, TaskGraph
+from repro.runtime.task import Flow
+
+
+def chain(n: int, node_of=lambda i: 0, nbytes: int = 8) -> TaskGraph:
+    g = TaskGraph()
+    for i in range(n):
+        inputs = (Flow(i - 1, "out", nbytes),) if i > 0 else ()
+        g.add_task(i, node=node_of(i), inputs=inputs, cost=1.0, out_nbytes={"out": nbytes})
+    return g
+
+
+def test_duplicate_keys_rejected():
+    g = TaskGraph()
+    g.add_task("a", node=0)
+    with pytest.raises(GraphError):
+        g.add_task("a", node=0)
+
+
+def test_missing_producer_rejected():
+    g = TaskGraph()
+    g.add_task("a", node=0, inputs=(Flow("ghost", "out"),))
+    with pytest.raises(GraphError, match="missing"):
+        g.finalize()
+
+
+def test_cycle_detected():
+    g = TaskGraph()
+    g.add_task("a", node=0, inputs=(Flow("b", "out"),), out_nbytes={"out": 8})
+    g.add_task("b", node=0, inputs=(Flow("a", "out"),), out_nbytes={"out": 8})
+    with pytest.raises(GraphError, match="cycle"):
+        g.finalize()
+
+
+def test_cycle_check_skippable():
+    g = TaskGraph()
+    g.add_task("a", node=0, inputs=(Flow("b", "out"),), out_nbytes={"out": 8})
+    g.add_task("b", node=0, inputs=(Flow("a", "out"),), out_nbytes={"out": 8})
+    g.finalize(validate=False)  # caller vouches for acyclicity
+    assert g.finalized
+
+
+def test_finalize_idempotent_and_freezes():
+    g = chain(3)
+    g.finalize()
+    g.finalize()
+    with pytest.raises(GraphError):
+        g.add_task("late", node=0)
+
+
+def test_consumers_and_out_tags():
+    g = chain(3).finalize()
+    assert g.consumers[(0, "out")] == [1]
+    assert g.consumers[(1, "out")] == [2]
+    assert "out" in g.out_tags[2]  # declared even with no consumer
+
+
+def test_census_local_vs_remote():
+    g = chain(4, node_of=lambda i: i % 2, nbytes=100).finalize()
+    census = g.census()
+    # Every edge crosses nodes (0-1-0-1).
+    assert census.remote_messages == 3
+    assert census.remote_bytes == 300
+    assert census.local_edges == 0
+
+
+def test_census_message_coalescing():
+    """Two same-node consumers of one (producer, tag) share a message."""
+    g = TaskGraph()
+    g.add_task("p", node=0, out_nbytes={"out": 64})
+    g.add_task("c1", node=1, inputs=(Flow("p", "out", 64),))
+    g.add_task("c2", node=1, inputs=(Flow("p", "out", 64),))
+    g.add_task("c3", node=2, inputs=(Flow("p", "out", 64),))
+    census = g.finalize().census()
+    assert census.remote_messages == 2  # node 1 once, node 2 once
+    assert census.remote_bytes == 128
+
+
+def test_census_requires_finalize():
+    with pytest.raises(GraphError):
+        chain(2).census()
+
+
+def test_total_flops():
+    g = TaskGraph()
+    g.add_task("a", node=0, flops=100, redundant_flops=10)
+    g.add_task("b", node=0, flops=50)
+    assert g.finalize().total_flops() == (150, 10)
+
+
+def test_critical_path_chain():
+    g = chain(5).finalize()
+    assert g.critical_path() == pytest.approx(5.0)
+
+
+def test_critical_path_diamond():
+    g = TaskGraph()
+    g.add_task("s", node=0, cost=1.0, out_nbytes={"o": 8})
+    g.add_task("a", node=0, cost=10.0, inputs=(Flow("s", "o", 8),), out_nbytes={"o": 8})
+    g.add_task("b", node=0, cost=1.0, inputs=(Flow("s", "o", 8),), out_nbytes={"o": 8})
+    g.add_task("t", node=0, cost=1.0, inputs=(Flow("a", "o", 8), Flow("b", "o", 8)))
+    assert g.finalize().critical_path() == pytest.approx(12.0)
+
+
+def test_nodes_used():
+    g = chain(4, node_of=lambda i: i % 3).finalize()
+    assert g.nodes_used() == {0, 1, 2}
+
+
+def test_container_protocol():
+    g = chain(3)
+    assert len(g) == 3 and 1 in g and g[1].key == 1
+    assert sorted(t.key for t in g) == [0, 1, 2]

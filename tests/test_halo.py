@@ -1,0 +1,96 @@
+"""Sides, corners, strip and corner-block geometry."""
+
+import pytest
+
+from repro.distgrid.halo import (
+    CORNERS,
+    SIDES,
+    Corner,
+    CornerSpec,
+    Side,
+    StripSpec,
+    corner_of,
+)
+
+
+def test_side_axes_and_directions():
+    assert Side.NORTH.axis == 0 and Side.SOUTH.axis == 0
+    assert Side.WEST.axis == 1 and Side.EAST.axis == 1
+    assert Side.NORTH.is_low and Side.WEST.is_low
+    assert not Side.SOUTH.is_low and not Side.EAST.is_low
+
+
+def test_side_opposites_involutive():
+    for s in SIDES:
+        assert s.opposite.opposite == s
+    assert Side.NORTH.opposite == Side.SOUTH
+    assert Side.WEST.opposite == Side.EAST
+
+
+def test_side_offsets():
+    assert Side.NORTH.offset == (-1, 0)
+    assert Side.EAST.offset == (0, 1)
+
+
+def test_corner_sides_and_offsets():
+    assert Corner.NW.sides == (Side.NORTH, Side.WEST)
+    assert Corner.SE.offset == (1, 1)
+    for c in CORNERS:
+        assert c.opposite.opposite == c
+    assert Corner.NE.opposite == Corner.SW
+
+
+def test_corner_of():
+    assert corner_of(Side.NORTH, Side.EAST) == Corner.NE
+    with pytest.raises(ValueError):
+        corner_of(Side.WEST, Side.NORTH)  # wrong axis order
+
+
+def test_strip_pad_region_north():
+    s = StripSpec(side=Side.NORTH, depth=3, ext_lo=0, ext_hi=2)
+    rows, cols = s.pad_region(core_h=10, core_w=8)
+    assert rows == (-3, 0)
+    assert cols == (0, 10)  # 8 + ext_hi 2
+
+
+def test_strip_source_region_mirrors():
+    """A consumer's north pad comes from the producer's south rows."""
+    s = StripSpec(side=Side.NORTH, depth=3)
+    rows, cols = s.source_region(prod_h=10, prod_w=8)
+    assert rows == (7, 10)
+    assert cols == (0, 8)
+    # East pad of the consumer = producer's westmost columns.
+    e = StripSpec(side=Side.EAST, depth=2, ext_lo=1, ext_hi=0)
+    rows, cols = e.source_region(prod_h=10, prod_w=8)
+    assert cols == (0, 2)
+    assert rows == (-1, 10)
+
+
+def test_strip_nbytes():
+    s = StripSpec(side=Side.SOUTH, depth=2, ext_lo=1, ext_hi=1)
+    assert s.nbytes(core_h=10, core_w=8) == 2 * (8 + 2) * 8
+    e = StripSpec(side=Side.WEST, depth=1)
+    assert e.nbytes(core_h=10, core_w=8) == 10 * 8
+
+
+def test_strip_validation():
+    with pytest.raises(ValueError):
+        StripSpec(side=Side.NORTH, depth=0)
+    with pytest.raises(ValueError):
+        StripSpec(side=Side.NORTH, depth=1, ext_lo=-1)
+
+
+def test_corner_regions_mirror():
+    c = CornerSpec(corner=Corner.NE, depth_r=3, depth_c=1)
+    rows, cols = c.pad_region(core_h=10, core_w=8)
+    assert rows == (-3, 0) and cols == (8, 9)
+    # Source: the producer sits to the NE, so the block hugs its SW
+    # corner: last rows, first cols.
+    rows, cols = c.source_region(prod_h=6, prod_w=5)
+    assert rows == (3, 6) and cols == (0, 1)
+    assert c.nbytes() == 3 * 1 * 8
+
+
+def test_corner_validation():
+    with pytest.raises(ValueError):
+        CornerSpec(corner=Corner.NW, depth_r=0, depth_c=1)

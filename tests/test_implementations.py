@@ -1,0 +1,103 @@
+"""The three implementations through the public runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.runner import IMPLEMENTATIONS, default_tile, run
+from repro.machine.machine import nacl
+
+from .conftest import random_problem
+
+
+def test_all_implementations_match_reference(machine4):
+    prob = random_problem(n=24, iterations=6, seed=42)
+    ref = prob.reference_solution()
+    base = run(prob, impl="base-parsec", machine=machine4, tile=4, mode="execute")
+    ca = run(prob, impl="ca-parsec", machine=machine4, tile=4, steps=3, mode="execute")
+    petsc = run(prob, impl="petsc", machine=machine4, mode="execute")
+    assert np.array_equal(base.grid, ref)
+    assert np.array_equal(ca.grid, ref)
+    assert np.allclose(petsc.grid, ref, rtol=1e-12)
+
+
+def test_base_equals_ca_with_step_one(machine4):
+    prob = random_problem(n=20, iterations=5, seed=1)
+    base = run(prob, impl="base-parsec", machine=machine4, tile=5, mode="execute")
+    ca1 = run(prob, impl="ca-parsec", machine=machine4, tile=5, steps=1, mode="execute")
+    assert np.array_equal(base.grid, ca1.grid)
+    # Same communication volume too.
+    assert base.messages == ca1.messages
+    assert base.message_bytes == ca1.message_bytes
+
+
+def test_ca_sends_fewer_messages(machine4):
+    prob = random_problem(n=24, iterations=6)
+    base = run(prob, impl="base-parsec", machine=machine4, tile=4, mode="simulate")
+    ca = run(prob, impl="ca-parsec", machine=machine4, tile=4, steps=3, mode="simulate")
+    assert ca.messages < base.messages
+    assert ca.message_bytes > base.message_bytes  # replication costs bytes
+    assert ca.redundant_fraction > 0 and base.redundant_fraction == 0
+
+
+def test_petsc_slower_than_base_at_scale():
+    """The 2x kernel-traffic gap shows on a realistic configuration."""
+    from repro.stencil.problem import JacobiProblem
+
+    prob = JacobiProblem(n=2880, iterations=6)
+    m = nacl(4)
+    base = run(prob, impl="base-parsec", machine=m, tile=144, mode="simulate")
+    petsc = run(prob, impl="petsc", machine=m, mode="simulate")
+    assert 1.6 < base.gflops / petsc.gflops < 2.6
+
+
+def test_simulate_timing_independent_of_execute(machine4):
+    """Virtual time must be identical whether kernels actually run."""
+    prob = random_problem(n=24, iterations=5)
+    sim = run(prob, impl="ca-parsec", machine=machine4, tile=4, steps=2, mode="simulate")
+    exe = run(prob, impl="ca-parsec", machine=machine4, tile=4, steps=2, mode="execute")
+    assert sim.elapsed == pytest.approx(exe.elapsed, rel=1e-12)
+    assert sim.messages == exe.messages
+
+
+def test_single_node_runs_have_no_messages(small_problem):
+    res = run(small_problem, impl="ca-parsec", machine=nacl(1), tile=6, steps=3,
+              mode="execute")
+    assert res.messages == 0
+    assert np.array_equal(res.grid, small_problem.reference_solution())
+
+
+def test_runner_validation(machine4, small_problem):
+    with pytest.raises(ValueError):
+        run(small_problem, impl="chapel", machine=machine4)
+    with pytest.raises(ValueError):
+        run(small_problem, impl="petsc", machine=machine4, ratio=0.5)
+    with pytest.raises(ValueError):
+        run(small_problem, impl="base-parsec", machine=machine4, mode="emulate")
+    assert set(IMPLEMENTATIONS) == {"petsc", "base-parsec", "ca-parsec"}
+
+
+def test_default_tile_sane():
+    from repro.stencil.problem import JacobiProblem
+
+    assert 1 <= default_tile(JacobiProblem(n=64, iterations=1), nacl(4)) <= 64
+    assert default_tile(JacobiProblem(n=23040, iterations=1), nacl(16)) <= 1024
+
+
+def test_ratio_speeds_up_parsec(machine16):
+    from repro.stencil.problem import JacobiProblem
+
+    prob = JacobiProblem(n=2880, iterations=5)
+    full = run(prob, impl="base-parsec", machine=machine16, tile=144, mode="simulate")
+    tuned = run(prob, impl="base-parsec", machine=machine16, tile=144, ratio=0.5,
+                mode="simulate")
+    assert tuned.elapsed < full.elapsed
+    # GFLOP/s uses nominal flops, so it *rises* with the tuned kernel.
+    assert tuned.gflops > full.gflops
+
+
+def test_trace_capture_through_runner(small_problem, machine4):
+    res = run(small_problem, impl="base-parsec", machine=machine4, tile=6,
+              mode="simulate", trace=True)
+    assert res.trace is not None and len(res.trace) > 0
+    res.trace.validate_no_overlap()
+    assert 0 < res.occupancy() <= 1.0

@@ -1,0 +1,92 @@
+"""Stencil kernels: weights, vectorised updates, FLOP accounting."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.kernels import (
+    FLOP_PER_POINT,
+    StencilWeights,
+    jacobi_sweep_framed,
+    jacobi_update_region,
+    region_flops,
+)
+
+
+def test_default_weights_are_laplace_jacobi():
+    w = StencilWeights()
+    assert w.center == 0.0
+    assert w.north == w.south == w.west == w.east == 0.25
+
+
+def test_damped_jacobi_weights():
+    w = StencilWeights.damped_jacobi(0.8)
+    assert w.center == pytest.approx(0.2)
+    assert w.north == pytest.approx(0.2)
+    with pytest.raises(ValueError):
+        StencilWeights.damped_jacobi(0.0)
+
+
+def test_heat_weights_stability_guard():
+    w = StencilWeights.heat_explicit(0.25)
+    assert w.center == pytest.approx(0.0)
+    with pytest.raises(ValueError):
+        StencilWeights.heat_explicit(0.3)
+
+
+def test_update_region_matches_naive_loop():
+    rng = np.random.default_rng(3)
+    ext = rng.normal(size=(7, 9))
+    w = StencilWeights.damped_jacobi(0.7)
+    got = jacobi_update_region(ext, w, slice(2, 5), slice(1, 8))
+    wc, wn, ws, ww, we = w.as_tuple()
+    for r in range(2, 5):
+        for c in range(1, 8):
+            want = (wc * ext[r, c] + wn * ext[r - 1, c] + ws * ext[r + 1, c]
+                    + ww * ext[r, c - 1] + we * ext[r, c + 1])
+            assert got[r - 2, c - 1] == pytest.approx(want, rel=1e-15)
+
+
+def test_update_region_does_not_modify_input():
+    ext = np.ones((5, 5))
+    before = ext.copy()
+    jacobi_update_region(ext, StencilWeights(), slice(1, 4), slice(1, 4))
+    assert np.array_equal(ext, before)
+
+
+def test_update_region_needs_neighbour_ring():
+    ext = np.ones((5, 5))
+    with pytest.raises(IndexError):
+        jacobi_update_region(ext, StencilWeights(), slice(0, 4), slice(1, 4))
+    with pytest.raises(IndexError):
+        jacobi_update_region(ext, StencilWeights(), slice(1, 5), slice(1, 4))
+
+
+def test_update_region_out_parameter():
+    ext = np.random.default_rng(0).normal(size=(6, 6))
+    out = np.empty((4, 4))
+    got = jacobi_update_region(ext, StencilWeights(), slice(1, 5), slice(1, 5), out=out)
+    assert got is out
+
+
+def test_empty_region():
+    ext = np.ones((5, 5))
+    got = jacobi_update_region(ext, StencilWeights(), slice(2, 2), slice(1, 4))
+    assert got.shape == (0, 3)
+
+
+def test_framed_sweep_preserves_frame():
+    framed = np.zeros((6, 6))
+    framed[0, :] = framed[-1, :] = framed[:, 0] = framed[:, -1] = 1.0
+    swept = jacobi_sweep_framed(framed, StencilWeights())
+    assert np.all(swept[0, :] == 1.0) and np.all(swept[:, -1] == 1.0)
+    # Interior cells adjacent to two frame edges get 0.5.
+    assert swept[1, 1] == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        jacobi_sweep_framed(np.zeros((2, 2)), StencilWeights())
+
+
+def test_region_flops():
+    assert region_flops(slice(0, 4), slice(0, 5)) == FLOP_PER_POINT * 20
+    assert region_flops((0, 4), (0, 5)) == FLOP_PER_POINT * 20
+    assert region_flops((3, 3), (0, 5)) == 0
+    assert FLOP_PER_POINT == 9  # paper's 5 multiplies + 4 adds

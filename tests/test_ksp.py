@@ -1,0 +1,122 @@
+"""KSP-lite solvers: CG, preconditioning, Richardson."""
+
+import numpy as np
+import pytest
+
+from repro.distgrid.boundary import DirichletBC
+from repro.petsclite.ksp import (
+    cg,
+    jacobi_preconditioner,
+    poisson_system,
+    richardson,
+)
+from repro.petsclite.mat import MatAIJ
+from repro.petsclite.vec import Vec, VecLayout
+from repro.stencil.problem import JacobiProblem
+
+
+def spd_system(n=20, nranks=3, seed=0):
+    """Random SPD system A = B'B + n*I distributed over nranks."""
+    rng = np.random.default_rng(seed)
+    B = rng.normal(size=(n, n))
+    A_dense = B.T @ B + n * np.eye(n)
+    rows, cols = np.nonzero(A_dense)
+    lay = VecLayout(n=n, nranks=nranks)
+    A = MatAIJ.from_coo(lay, lay, rows, cols, A_dense[rows, cols])
+    x_true = rng.normal(size=n)
+    b = Vec.from_global(lay, A_dense @ x_true)
+    return A, b, x_true, lay
+
+
+def test_cg_solves_random_spd():
+    A, b, x_true, _ = spd_system()
+    res = cg(A, b, rtol=1e-12, maxiter=200)
+    assert res.converged
+    assert np.allclose(res.x.to_global(), x_true, atol=1e-8)
+    # Residuals decrease overall.
+    assert res.residual_norms[-1] < 1e-10 * res.residual_norms[0]
+
+
+def test_cg_counts_operations():
+    A, b, _, _ = spd_system()
+    res = cg(A, b, rtol=1e-10)
+    # One SpMV per iteration plus the initial residual.
+    assert res.spmvs == res.iterations + 1
+    # Each iteration performs ~3 reductions (norm, pAp, rz).
+    assert res.reductions >= 3 * res.iterations
+
+
+def test_jacobi_preconditioner_accelerates_ill_conditioned():
+    """Diagonal scaling fixes badly scaled SPD systems."""
+    n = 40
+    rng = np.random.default_rng(1)
+    scales = 10.0 ** rng.uniform(-3, 3, size=n)
+    B = rng.normal(size=(n, n))
+    A_dense = (B.T @ B + n * np.eye(n)) * np.outer(scales, scales)
+    rows, cols = np.nonzero(A_dense)
+    lay = VecLayout(n=n, nranks=2)
+    A = MatAIJ.from_coo(lay, lay, rows, cols, A_dense[rows, cols])
+    x_true = rng.normal(size=n)
+    b = Vec.from_global(lay, A_dense @ x_true)
+    plain = cg(A, b, rtol=1e-8, maxiter=2000)
+    pre = cg(A, b, rtol=1e-12, maxiter=2000, preconditioner=jacobi_preconditioner(A))
+    assert pre.converged
+    assert pre.iterations < plain.iterations
+    # The system is deliberately ill conditioned, so compare loosely.
+    assert np.allclose(pre.x.to_global(), x_true, rtol=1e-4, atol=1e-5)
+
+
+def test_cg_rejects_indefinite():
+    lay = VecLayout(n=2, nranks=1)
+    A = MatAIJ.from_coo(lay, lay, np.array([0, 1]), np.array([0, 1]),
+                        np.array([1.0, -1.0]))
+    b = Vec.from_global(lay, np.array([1.0, 1.0]))
+    with pytest.raises(ValueError, match="positive definite"):
+        cg(A, b)
+
+
+def test_richardson_matches_jacobi_fixed_point():
+    """Richardson on the Poisson system converges to the same answer
+    the paper's Jacobi iteration approaches."""
+    problem = JacobiProblem(n=8, iterations=0, bc=DirichletBC(2.0))
+    A, rhs = poisson_system(problem, nranks=2)
+    res = richardson(A, rhs, omega=0.24, rtol=1e-10, maxiter=5000)
+    assert res.converged
+    # Laplace with constant boundary -> constant solution.
+    assert np.allclose(res.x.to_global(), 2.0, atol=1e-6)
+
+
+def test_poisson_system_solution_is_jacobi_limit():
+    problem = JacobiProblem(
+        n=10, iterations=4000, init=0.0,
+        bc=DirichletBC(lambda r, c: 0.1 * r + 0.05 * c),
+    )
+    A, rhs = poisson_system(problem, nranks=3)
+    krylov = cg(A, rhs, rtol=1e-13, maxiter=1000)
+    assert krylov.converged
+    jacobi_limit = problem.reference_solution().ravel()
+    assert np.allclose(krylov.x.to_global(), jacobi_limit, atol=1e-8)
+    # CG needs 10-100x fewer matrix applications than Jacobi sweeps.
+    assert krylov.spmvs < 200
+
+
+def test_cg_zero_rhs():
+    A, b, _, lay = spd_system()
+    res = cg(A, Vec(lay), rtol=1e-10)
+    assert res.converged and np.all(res.x.to_global() == 0.0)
+
+
+def test_layout_validation():
+    A, b, _, lay = spd_system(nranks=3)
+    with pytest.raises(ValueError):
+        cg(A, Vec(VecLayout(n=20, nranks=2)))
+    with pytest.raises(ValueError):
+        cg(A, b, x0=Vec(VecLayout(n=20, nranks=2)))
+
+
+def test_preconditioner_requires_nonzero_diagonal():
+    lay = VecLayout(n=2, nranks=1)
+    A = MatAIJ.from_coo(lay, lay, np.array([0, 1]), np.array([1, 0]),
+                        np.array([1.0, 1.0]))
+    with pytest.raises(ValueError):
+        jacobi_preconditioner(A)

@@ -1,0 +1,63 @@
+"""Machine presets: calibration against the paper's numbers."""
+
+import pytest
+
+from repro.machine import units
+from repro.machine.machine import MachineSpec, nacl, preset, stampede2, summit_like
+
+
+def test_nacl_matches_paper():
+    m = nacl()
+    assert m.nodes == 64
+    assert m.node.cores == 12
+    assert units.to_mb_s(m.node.core_stream_bw) == pytest.approx(9814.2)
+    assert units.to_mb_s(m.node.node_stream_bw) == pytest.approx(40091.3)
+    assert units.to_gbit_s(m.network.peak_bw) == pytest.approx(32.0)
+    assert units.to_gbit_s(m.network.effective_bw) == pytest.approx(27.0)
+    assert m.network.latency == pytest.approx(1e-6)
+
+
+def test_stampede2_matches_paper():
+    m = stampede2()
+    assert m.node.cores == 48
+    assert units.to_mb_s(m.node.node_stream_bw) == pytest.approx(176701.1)
+    assert units.to_gbit_s(m.network.peak_bw) == pytest.approx(100.0)
+    assert units.to_gbit_s(m.network.effective_bw) == pytest.approx(86.0)
+
+
+def test_with_nodes_strong_scaling():
+    m = nacl(64).with_nodes(16)
+    assert m.nodes == 16
+    assert m.node == nacl().node  # same node model
+    assert m.total_cores == 16 * 12
+
+
+def test_preset_lookup():
+    assert preset("NaCL").name == "NaCL"
+    assert preset("stampede2", nodes=4).nodes == 4
+    assert preset("summit-like").node.node_stream_bw == pytest.approx(900e9)
+    with pytest.raises(KeyError):
+        preset("frontier")
+
+
+def test_local_copy_time():
+    m = nacl()
+    one_mb = 1e6
+    assert m.local_copy_time(one_mb) == pytest.approx(
+        2e6 / m.node.core_stream_bw
+    )
+    with pytest.raises(ValueError):
+        m.local_copy_time(-1)
+
+
+def test_machine_validation():
+    with pytest.raises(ValueError):
+        MachineSpec(name="x", nodes=0, node=nacl().node, network=nacl().network)
+
+
+def test_summit_like_is_network_bound_ready():
+    """The conclusion's projection: much faster memory, similar network
+    latency -- the regime where CA should shine."""
+    s = summit_like()
+    assert s.node.node_stream_bw > 5 * stampede2().node.node_stream_bw
+    assert s.network.latency == pytest.approx(1e-6)

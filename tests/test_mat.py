@@ -1,0 +1,88 @@
+"""MPIAIJ matrices: assembly, diag/offdiag split, SpMV."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.petsclite.mat import MatAIJ
+from repro.petsclite.vec import Vec, VecLayout
+
+
+def random_coo(n, density, seed):
+    rng = np.random.default_rng(seed)
+    nnz = int(n * n * density)
+    rows = rng.integers(0, n, nnz)
+    cols = rng.integers(0, n, nnz)
+    vals = rng.normal(size=nnz)
+    return rows, cols, vals
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 3, 5])
+def test_mult_matches_scipy(nranks):
+    n = 17
+    rows, cols, vals = random_coo(n, 0.2, seed=nranks)
+    lay = VecLayout(n=n, nranks=nranks)
+    A = MatAIJ.from_coo(lay, lay, rows, cols, vals)
+    dense = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).toarray()
+    x = np.random.default_rng(7).normal(size=n)
+    got = A.mult(Vec.from_global(lay, x)).to_global()
+    assert np.allclose(got, dense @ x, rtol=1e-13)
+
+
+def test_duplicates_summed():
+    lay = VecLayout(n=4, nranks=2)
+    A = MatAIJ.from_coo(
+        lay, lay,
+        np.array([0, 0]), np.array([3, 3]), np.array([1.0, 2.0]),
+    )
+    x = Vec.from_global(lay, np.array([0.0, 0.0, 0.0, 1.0]))
+    assert A.mult(x).to_global()[0] == pytest.approx(3.0)
+
+
+def test_diag_offdiag_split():
+    lay = VecLayout(n=6, nranks=2)  # rank 0 owns 0-2, rank 1 owns 3-5
+    rows = np.array([0, 0, 4, 4])
+    cols = np.array([1, 4, 4, 0])
+    vals = np.ones(4)
+    A = MatAIJ.from_coo(lay, lay, rows, cols, vals)
+    assert A.blocks[0].diag.nnz == 1  # (0,1)
+    assert A.blocks[0].garray.tolist() == [4]  # remote column
+    assert A.blocks[1].diag.nnz == 1  # (4,4)
+    assert A.blocks[1].garray.tolist() == [0]
+
+
+def test_to_dense_roundtrip():
+    n = 9
+    rows, cols, vals = random_coo(n, 0.3, seed=2)
+    lay = VecLayout(n=n, nranks=3)
+    A = MatAIJ.from_coo(lay, lay, rows, cols, vals)
+    dense = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).toarray()
+    assert np.allclose(A.to_dense(), dense)
+
+
+def test_nnz():
+    lay = VecLayout(n=4, nranks=2)
+    A = MatAIJ.from_coo(lay, lay, np.array([0, 1, 3]), np.array([0, 3, 1]),
+                        np.ones(3))
+    assert A.nnz() == 3
+
+
+def test_mult_local_equals_global_rows():
+    n = 12
+    rows, cols, vals = random_coo(n, 0.25, seed=5)
+    lay = VecLayout(n=n, nranks=4)
+    A = MatAIJ.from_coo(lay, lay, rows, cols, vals)
+    x = Vec.from_global(lay, np.random.default_rng(0).normal(size=n))
+    full = A.mult(x).to_global()
+    for rank in range(4):
+        lo, hi = lay.range_of(rank)
+        assert np.allclose(A.mult_local(x, rank), full[lo:hi])
+
+
+def test_shape_validation():
+    lay = VecLayout(n=4, nranks=2)
+    with pytest.raises(ValueError):
+        MatAIJ.from_coo(lay, lay, np.zeros(2), np.zeros(3), np.zeros(2))
+    A = MatAIJ.from_coo(lay, lay, np.array([0]), np.array([0]), np.array([1.0]))
+    with pytest.raises(ValueError):
+        A.mult(Vec(VecLayout(n=4, nranks=4)))

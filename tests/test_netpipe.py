@@ -1,0 +1,43 @@
+"""NetPIPE: modelled curves and the host loopback variant."""
+
+import pytest
+
+from repro.machine.machine import nacl, stampede2
+from repro.machine.netpipe import message_sizes, model_curve, run_host_loopback
+
+
+def test_message_sizes_geometric():
+    sizes = message_sizes(64, 1024)
+    assert sizes == [64, 128, 256, 512, 1024]
+    with pytest.raises(ValueError):
+        message_sizes(0, 10)
+    with pytest.raises(ValueError):
+        message_sizes(1024, 64)
+
+
+def test_model_curve_shape():
+    points = model_curve(nacl().network)
+    fracs = [p.fraction_of_peak for p in points]
+    assert all(f2 > f1 for f1, f2 in zip(fracs, fracs[1:]))
+    # Saturates at effective/peak = 27/32.
+    assert fracs[-1] == pytest.approx(27 / 32, rel=0.01)
+    # Small messages are latency-bound.
+    assert fracs[0] < 0.05
+
+
+def test_model_curve_stampede2_saturates_higher_absolute():
+    na = model_curve(nacl().network)[-1]
+    s2 = model_curve(stampede2().network)[-1]
+    assert s2.bandwidth > 2.5 * na.bandwidth  # 86 vs 27 Gb/s
+
+
+def test_model_times_consistent_with_bandwidth():
+    for p in model_curve(nacl().network, 1024, 65536):
+        assert p.bandwidth == pytest.approx(p.nbytes / p.time)
+
+
+def test_host_loopback_runs():
+    points = run_host_loopback(min_bytes=256, max_bytes=64 * 1024, repeats=2)
+    assert len(points) == 9
+    assert all(p.bandwidth > 0 for p in points)
+    assert max(p.fraction_of_peak for p in points) == pytest.approx(1.0)

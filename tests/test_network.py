@@ -1,0 +1,83 @@
+"""NetworkSpec: the alpha-beta/NetPIPE model."""
+
+import math
+
+import pytest
+
+from repro.machine import units
+from repro.machine.network import NetworkSpec, bisect_size_for_fraction
+
+
+def make_net(**over):
+    base = dict(
+        name="test-net",
+        peak_bw=units.gbit_s(32.0),
+        effective_bw=units.gbit_s(27.0),
+        latency=1e-6,
+        software_overhead=20e-6,
+        half_bw_size=8192,
+    )
+    base.update(over)
+    return NetworkSpec(**base)
+
+
+def test_wire_time_is_affine_in_size():
+    net = make_net()
+    t1 = net.wire_time(1000)
+    t2 = net.wire_time(2000)
+    assert t2 - t1 == pytest.approx(1000 / net.effective_bw)
+    assert net.wire_time(0) == pytest.approx(net.alpha)
+
+
+def test_message_time_adds_software_overhead():
+    net = make_net()
+    assert net.message_time(100) == pytest.approx(net.wire_time(100) + 20e-6)
+
+
+def test_achieved_bandwidth_monotone_and_saturating():
+    net = make_net()
+    sizes = [2**k for k in range(6, 24)]
+    bws = [net.achieved_bandwidth(s) for s in sizes]
+    assert all(b2 > b1 for b1, b2 in zip(bws, bws[1:]))
+    assert bws[-1] < net.effective_bw
+    assert bws[-1] > 0.95 * net.effective_bw
+
+
+def test_half_bandwidth_at_n_half():
+    net = make_net()
+    # By the n_1/2 definition, the curve reaches half the effective
+    # bandwidth exactly at half_bw_size.
+    assert net.achieved_bandwidth(net.half_bw_size) == pytest.approx(
+        net.effective_bw / 2
+    )
+
+
+def test_fraction_of_peak_below_one():
+    net = make_net()
+    assert 0 < net.fraction_of_peak(4 * 1024 * 1024) < 27 / 32 + 1e-9
+    assert net.fraction_of_peak(0) == 0.0
+
+
+def test_saturation_size():
+    net = make_net()
+    n90 = net.saturation_size(0.9)
+    assert net.achieved_bandwidth(n90) == pytest.approx(0.9 * net.effective_bw)
+    with pytest.raises(ValueError):
+        net.saturation_size(1.0)
+
+
+def test_bisect_size_for_fraction():
+    net = make_net()
+    n = bisect_size_for_fraction(net, 0.5)
+    assert net.fraction_of_peak(n) == pytest.approx(0.5, rel=1e-3)
+    # Unreachable fraction (effective is 27/32 = 84% of peak).
+    assert bisect_size_for_fraction(net, 0.9) == math.inf
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make_net(effective_bw=units.gbit_s(33.0))  # above peak
+    with pytest.raises(ValueError):
+        make_net(latency=-1.0)
+    with pytest.raises(ValueError):
+        make_net().wire_time(-5)

@@ -1,0 +1,51 @@
+"""NodeSpec: validation and the shared-bandwidth model."""
+
+import pytest
+
+from repro.machine.node import NodeSpec
+
+
+def make_node(**over):
+    base = dict(
+        name="test",
+        cores=12,
+        core_stream_bw=10e9,
+        node_stream_bw=40e9,
+        core_peak_flops=10e9,
+    )
+    base.update(over)
+    return NodeSpec(**base)
+
+
+def test_compute_cores_reserves_comm_thread():
+    assert make_node(cores=12).compute_cores == 11
+    assert make_node(cores=1).compute_cores == 1  # never below one
+
+
+def test_node_peak_flops():
+    assert make_node().node_peak_flops == 12 * 10e9
+
+
+def test_worker_bandwidth_saturates():
+    node = make_node()
+    # One worker gets full single-core bandwidth...
+    assert node.worker_stream_bw(1) == 10e9
+    # ...many workers share the node interface...
+    assert node.worker_stream_bw(8) == pytest.approx(40e9 / 8)
+    # ...and the share never exceeds a single core's capability.
+    assert node.worker_stream_bw(2) == 10e9  # 40/2=20 > 10 -> capped
+
+
+def test_invalid_nodes_rejected():
+    with pytest.raises(ValueError):
+        make_node(cores=0)
+    with pytest.raises(ValueError):
+        make_node(core_stream_bw=-1)
+    with pytest.raises(ValueError):
+        make_node(node_stream_bw=5e9)  # below single core
+    with pytest.raises(ValueError):
+        make_node(kernel_efficiency=0.0)
+    with pytest.raises(ValueError):
+        make_node(kernel_efficiency=1.5)
+    with pytest.raises(ValueError):
+        make_node().worker_stream_bw(0)

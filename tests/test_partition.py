@@ -1,0 +1,131 @@
+"""Process grids and the two-level block/tile partition."""
+
+import pytest
+
+from repro.distgrid.halo import Corner, Side
+from repro.distgrid.partition import (
+    GridPartition,
+    ProcessGrid,
+    even_split,
+    tile_split,
+)
+
+
+def test_even_split_balanced():
+    assert even_split(10, 3) == [4, 3, 3]
+    assert even_split(9, 3) == [3, 3, 3]
+    assert sum(even_split(1000, 7)) == 1000
+    assert max(even_split(1000, 7)) - min(even_split(1000, 7)) <= 1
+    with pytest.raises(ValueError):
+        even_split(2, 3)
+    with pytest.raises(ValueError):
+        even_split(5, 0)
+
+
+def test_tile_split():
+    assert tile_split(10, 4) == [4, 4, 2]
+    assert tile_split(8, 4) == [4, 4]
+    assert tile_split(3, 5) == [3]
+    with pytest.raises(ValueError):
+        tile_split(10, 0)
+
+
+def test_process_grid_square():
+    assert ProcessGrid.square(16) == ProcessGrid(4, 4)
+    assert ProcessGrid.square(6) == ProcessGrid(2, 3)
+    assert ProcessGrid.square(7) == ProcessGrid(1, 7)
+    assert ProcessGrid.square(1) == ProcessGrid(1, 1)
+
+
+def test_process_grid_rank_coords_roundtrip():
+    pg = ProcessGrid(3, 4)
+    for pr in range(3):
+        for pc in range(4):
+            assert pg.coords(pg.rank(pr, pc)) == (pr, pc)
+    with pytest.raises(IndexError):
+        pg.rank(3, 0)
+    with pytest.raises(IndexError):
+        pg.coords(12)
+
+
+def make_partition(n=24, nodes=4, tile=4):
+    return GridPartition(n, n, ProcessGrid.square(nodes), tile)
+
+
+def test_tiles_cover_grid_exactly():
+    p = make_partition(n=25, tile=4)
+    covered = set()
+    for (i, j) in p.tiles():
+        r0, r1 = p.tile_rows(i)
+        c0, c1 = p.tile_cols(j)
+        for r in range(r0, r1):
+            for c in range(c0, c1):
+                assert (r, c) not in covered
+                covered.add((r, c))
+    assert len(covered) == 25 * 25
+
+
+def test_tiles_never_span_nodes():
+    p = make_partition(n=26, nodes=4, tile=5)
+    for (i, j) in p.tiles():
+        owner = p.owner(i, j)
+        r0, r1 = p.tile_rows(i)
+        # All rows of the tile belong to one node-row block.
+        assert p._row_layout[1][i] == owner // p.pgrid.cols
+
+
+def test_neighbors_and_boundaries():
+    p = make_partition(n=24, nodes=4, tile=4)  # 2x2 nodes, 6x6 tiles
+    assert p.tile_shape == (6, 6)
+    assert p.neighbor(0, 0, Side.NORTH) is None
+    assert p.neighbor(0, 0, Side.SOUTH) == (1, 0)
+    assert p.diagonal(0, 0, Corner.SE) == (1, 1)
+    assert p.diagonal(0, 0, Corner.NW) is None
+    # Tile (2, 0) is the last row of node (0, 0): south neighbour is
+    # remote.
+    assert p.is_remote(2, 0, Side.SOUTH)
+    assert not p.is_remote(2, 0, Side.NORTH)
+    assert p.is_node_boundary(2, 0)
+    assert not p.is_node_boundary(1, 1)
+
+
+def test_owner_matches_blocks():
+    p = make_partition(n=24, nodes=4, tile=4)
+    assert p.owner(0, 0) == 0
+    assert p.owner(0, 3) == 1  # east half
+    assert p.owner(3, 0) == 2
+    assert p.owner(5, 5) == 3
+
+
+def test_tiles_of_node_partition_the_tiles():
+    p = make_partition(n=24, nodes=4, tile=4)
+    seen = set()
+    for rank in range(4):
+        for t in p.tiles_of_node(rank):
+            assert t not in seen
+            seen.add(t)
+    assert len(seen) == 36
+
+
+def test_counts():
+    p = make_partition(n=24, nodes=4, tile=4)
+    stats = p.counts()
+    assert stats["tiles"] == 36
+    assert stats["boundary_tiles"] + stats["interior_tiles"] == 36
+    # 2x2 node grid with 3x3 tiles per node: boundary tiles are the
+    # tiles hugging the internal cross: 5 per node.
+    assert stats["boundary_tiles"] == 20
+
+
+def test_min_tile_dim_uneven():
+    p = GridPartition(27, 27, ProcessGrid(2, 2), 5)  # 14=5+5+4, 13=5+5+3
+    assert p.min_tile_dim() == 3
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        GridPartition(3, 3, ProcessGrid(2, 2), 0)
+    with pytest.raises(ValueError):
+        GridPartition(1, 8, ProcessGrid(2, 2), 2)
+    with pytest.raises(IndexError):
+        make_partition().tile_rows(99)

@@ -1,0 +1,111 @@
+"""Property-based invariants of the domain decomposition."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.distgrid.halo import SIDES
+from repro.distgrid.partition import GridPartition, ProcessGrid, even_split
+
+
+@st.composite
+def partitions(draw):
+    prows = draw(st.integers(1, 4))
+    pcols = draw(st.integers(1, 4))
+    tile = draw(st.integers(1, 7))
+    nrows = draw(st.integers(prows, 40))
+    ncols = draw(st.integers(pcols, 40))
+    return GridPartition(nrows, ncols, ProcessGrid(prows, pcols), tile)
+
+
+@settings(max_examples=60, deadline=None)
+@given(partitions())
+def test_tiles_tile_the_grid(p):
+    total = 0
+    prev_rows = None
+    for (i, j) in p.tiles():
+        r0, r1 = p.tile_rows(i)
+        c0, c1 = p.tile_cols(j)
+        assert 0 <= r0 < r1 <= p.nrows
+        assert 0 <= c0 < c1 <= p.ncols
+        total += (r1 - r0) * (c1 - c0)
+    assert total == p.nrows * p.ncols
+
+
+@settings(max_examples=60, deadline=None)
+@given(partitions())
+def test_tile_extents_bounded_by_tile_size(p):
+    tr, tc = p.tile_shape
+    for i in range(tr):
+        r0, r1 = p.tile_rows(i)
+        assert 1 <= r1 - r0 <= p.tile
+    for j in range(tc):
+        c0, c1 = p.tile_cols(j)
+        assert 1 <= c1 - c0 <= p.tile
+
+
+@settings(max_examples=60, deadline=None)
+@given(partitions())
+def test_neighbor_relation_symmetric(p):
+    for (i, j) in p.tiles():
+        for side in SIDES:
+            nb = p.neighbor(i, j, side)
+            if nb is not None:
+                assert p.neighbor(nb[0], nb[1], side.opposite) == (i, j)
+                assert p.is_remote(i, j, side) == p.is_remote(
+                    nb[0], nb[1], side.opposite
+                )
+
+
+@settings(max_examples=60, deadline=None)
+@given(partitions())
+def test_facing_tiles_share_perpendicular_extent(p):
+    """The property the halo strips rely on: adjacent tiles have the
+    same row range (E/W neighbours) or column range (N/S)."""
+    from repro.distgrid.halo import Side
+
+    for (i, j) in p.tiles():
+        east = p.neighbor(i, j, Side.EAST)
+        if east is not None:
+            assert p.tile_rows(i) == p.tile_rows(east[0])
+        south = p.neighbor(i, j, Side.SOUTH)
+        if south is not None:
+            assert p.tile_cols(j) == p.tile_cols(south[1])
+
+
+@settings(max_examples=60, deadline=None)
+@given(partitions())
+def test_every_tile_owned_by_exactly_one_node(p):
+    for rank in range(p.pgrid.size):
+        for (i, j) in p.tiles_of_node(rank):
+            assert p.owner(i, j) == rank
+    counts = sum(len(p.tiles_of_node(r)) for r in range(p.pgrid.size))
+    assert counts == len(list(p.tiles()))
+
+
+@settings(max_examples=60, deadline=None)
+@given(partitions())
+def test_remoteness_constant_along_axes(p):
+    """All tiles in one tile-column agree on east/west remoteness; all
+    tiles in one tile-row agree on north/south remoteness (the
+    property that keeps CA strip extensions consistent)."""
+    from repro.distgrid.halo import Side
+
+    tr, tc = p.tile_shape
+    for j in range(tc):
+        flags = {p.is_remote(i, j, Side.EAST) for i in range(tr)}
+        assert len(flags) == 1
+    for i in range(tr):
+        flags = {p.is_remote(i, j, Side.SOUTH) for j in range(tc)}
+        assert len(flags) == 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(1, 10_000), st.integers(1, 64))
+def test_even_split_properties(total, parts):
+    if total < parts:
+        return
+    sizes = even_split(total, parts)
+    assert sum(sizes) == total
+    assert len(sizes) == parts
+    assert max(sizes) - min(sizes) <= 1
+    assert sizes == sorted(sizes, reverse=True)

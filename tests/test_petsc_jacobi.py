@@ -1,0 +1,78 @@
+"""PETSc-style task graph: structure and numerics."""
+
+import numpy as np
+import pytest
+
+from repro.core.petsc_jacobi import build_petsc_graph
+from repro.machine.machine import nacl
+from repro.runtime.engine import Engine
+
+from .conftest import random_problem
+
+
+def test_one_rank_per_core():
+    prob = random_problem(n=48, iterations=2)
+    built = build_petsc_graph(prob, nacl(2), with_kernels=False)
+    nranks = 2 * 12
+    assert built.layout.nranks == nranks
+    assert len(built.graph) == nranks * (2 + 1)
+
+
+def test_ranks_packed_onto_nodes():
+    prob = random_problem(n=48, iterations=1)
+    built = build_petsc_graph(prob, nacl(2), with_kernels=False)
+    for task in built.graph:
+        _, rank, _ = task.key
+        assert task.node == rank // 12
+
+
+def test_numerics_match_reference():
+    prob = random_problem(n=26, iterations=7, ncols=22, seed=9)
+    built = build_petsc_graph(prob, nacl(2))
+    rep = Engine(built.graph, nacl(2), execute=True, overlap=False).run()
+    grid = built.assemble_grid(rep.results)
+    assert np.allclose(grid, prob.reference_solution(), rtol=1e-12)
+
+
+def test_strip_partition_messages():
+    """1D row-block partition: only node-boundary ranks talk across
+    nodes, two fat messages per node seam per iteration direction."""
+    prob = random_problem(n=48, iterations=3)
+    built = build_petsc_graph(prob, nacl(2), with_kernels=False)
+    census = built.graph.census()
+    # Ranks 0-11 on node 0, 12-23 on node 1; only ranks 11 and 12
+    # exchange across the seam: 2 messages per iteration.
+    assert census.remote_messages == 2 * 3
+    # Each message carries one grid row (plus the +-1 stragglers
+    # falling inside the window).
+    assert census.remote_bytes >= 2 * 3 * 48 * 8
+
+
+def test_execute_and_timing_census_agree():
+    """The analytic ghost window must reproduce the assembled scatter
+    exactly when ranks own whole rows."""
+    prob = random_problem(n=48, iterations=2)
+    with_k = build_petsc_graph(prob, nacl(2), with_kernels=True)
+    without = build_petsc_graph(prob, nacl(2), with_kernels=False)
+    cw = with_k.graph.census()
+    co = without.graph.census()
+    assert cw.remote_messages == co.remote_messages
+    assert cw.remote_bytes == co.remote_bytes
+    assert cw.local_edges == co.local_edges
+
+
+def test_spmv_cost_model():
+    from repro.petsclite.cost import SpMVCostModel
+
+    m = nacl()
+    cm = SpMVCostModel(m)
+    # The paper's argument: twice the stencil's 20 B/point.
+    assert cm.bytes_per_row == 40.0
+    assert cm.task_cost(1000) == pytest.approx(1000 * cm.row_time())
+    assert cm.node_gflops_bound() == pytest.approx(
+        9 * 12 / cm.row_time() / 1e9
+    )
+    with pytest.raises(ValueError):
+        cm.task_cost(-1)
+    with pytest.raises(ValueError):
+        SpMVCostModel(m, bytes_per_row=0)

@@ -1,0 +1,54 @@
+"""JacobiProblem specification."""
+
+import numpy as np
+import pytest
+
+from repro.distgrid.boundary import DirichletBC
+from repro.stencil.problem import JacobiProblem
+
+
+def test_shape_and_points():
+    p = JacobiProblem(n=10, iterations=5)
+    assert p.shape == (10, 10) and p.points == 100
+    q = JacobiProblem(n=4, ncols=6, iterations=1)
+    assert q.shape == (4, 6) and q.points == 24
+
+
+def test_total_flops_is_nominal_9n2():
+    p = JacobiProblem(n=100, iterations=7)
+    assert p.total_flops == 9 * 100 * 100 * 7
+
+
+def test_constant_initializer():
+    p = JacobiProblem(n=3, iterations=0, init=2.5)
+    assert np.all(p.initial_grid() == 2.5)
+
+
+def test_callable_initializer_gets_global_indices():
+    p = JacobiProblem(n=3, ncols=4, iterations=0, init=lambda r, c: 10.0 * r + c)
+    grid = p.initial_grid()
+    assert grid[2, 3] == pytest.approx(23.0)
+    assert grid.shape == (3, 4)
+
+
+def test_initializer_shape_checked():
+    p = JacobiProblem(n=3, iterations=0, init=lambda r, c: np.zeros(2))
+    with pytest.raises(ValueError):
+        p.initial_grid()
+
+
+def test_reference_solution_matches_solver():
+    p = JacobiProblem(n=8, iterations=4, init=1.0, bc=DirichletBC(0.0))
+    ref = p.reference_solution()
+    assert ref.shape == (8, 8)
+    # Dirichlet 0 pulls interior down from 1.0.
+    assert ref.max() < 1.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        JacobiProblem(n=0, iterations=1)
+    with pytest.raises(ValueError):
+        JacobiProblem(n=4, iterations=-1)
+    with pytest.raises(ValueError):
+        JacobiProblem(n=4, ncols=0, iterations=1)

@@ -1,0 +1,96 @@
+"""Parameterized Task Graph front-end."""
+
+import pytest
+
+from repro.machine.machine import nacl
+from repro.runtime.engine import Engine
+from repro.runtime.ptg import PTG, Dependency, TaskClass
+
+
+def pipeline_ptg(n=10, nodes=2):
+    ptg = PTG()
+    ptg.add_class(TaskClass(
+        name="f",
+        parameter_space=lambda: ((i,) for i in range(n)),
+        node=lambda i: i % nodes,
+        dependencies=[Dependency(
+            producer=lambda i: ("f", i - 1) if i > 0 else None,
+            tag="out",
+            nbytes=8,
+        )],
+        outputs={"out": 8},
+        cost=lambda i: 1e-6 * (i + 1),
+        flops=10.0,
+        kernel=lambda ins, task: {"out": sum(v for v in ins.values() if v) + 1},
+    ))
+    return ptg
+
+
+def test_unroll_counts_and_keys():
+    g = pipeline_ptg().build()
+    assert len(g) == 10
+    assert ("f", 0) in g and ("f", 9) in g
+    assert g[("f", 3)].node == 1
+    assert g[("f", 3)].cost == pytest.approx(4e-6)
+
+
+def test_boundary_dependency_none():
+    g = pipeline_ptg().build()
+    assert g[("f", 0)].inputs == ()
+    assert g[("f", 1)].inputs[0].producer == ("f", 0)
+
+
+def test_executes_numerically():
+    g = pipeline_ptg().build()
+    rep = Engine(g, nacl(2), execute=True).run()
+    assert rep.results[(("f", 9), "out")] == 10
+
+
+def test_callable_attributes():
+    ptg = PTG()
+    ptg.add_class(TaskClass(
+        name="g",
+        parameter_space=lambda: ((i, j) for i in range(2) for j in range(3)),
+        node=0,
+        outputs=lambda i, j: {"o": 8 * (i + j + 1)},
+        priority=lambda i, j: i * 10 + j,
+        kind="grid",
+    ))
+    g = ptg.build()
+    assert len(g) == 6
+    assert g[("g", 1, 2)].priority == 12
+    assert g[("g", 1, 2)].out_nbytes == {"o": 32}
+    assert g[("g", 0, 0)].kind == "grid"
+
+
+def test_two_classes_cross_dependencies():
+    """A producer class feeding a reducer class -- the one-to-many /
+    many-to-one flows PTG is built for."""
+    ptg = PTG()
+    ptg.add_class(TaskClass(
+        name="produce",
+        parameter_space=lambda: ((i,) for i in range(4)),
+        node=lambda i: i % 2,
+        outputs={"v": 8},
+        kernel=lambda ins, task: {"v": float(task.key[1])},
+    ))
+    ptg.add_class(TaskClass(
+        name="reduce",
+        parameter_space=lambda: ((),),
+        node=0,
+        dependencies=[
+            Dependency(producer=lambda *_, k=k: ("produce", k), tag="v", nbytes=8)
+            for k in range(4)
+        ],
+        outputs={"sum": 8},
+        kernel=lambda ins, task: {"sum": sum(ins.values())},
+    ))
+    g = ptg.build()
+    rep = Engine(g, nacl(2), execute=True).run()
+    assert rep.results[(("reduce",), "sum")] == 0 + 1 + 2 + 3
+
+
+def test_duplicate_class_rejected():
+    ptg = pipeline_ptg()
+    with pytest.raises(ValueError):
+        ptg.add_class(TaskClass(name="f", parameter_space=lambda: [()], node=0))

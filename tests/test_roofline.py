@@ -1,0 +1,58 @@
+"""Roofline model and the paper's section VI-A brackets."""
+
+import pytest
+
+from repro.machine.machine import nacl, stampede2
+from repro.machine.roofline import (
+    AI_HIGH,
+    AI_LOW,
+    FLOP_PER_POINT,
+    attainable,
+    node_attainable,
+    ridge_point,
+    stencil_peak_range,
+)
+
+
+def test_arithmetic_intensity_range_matches_paper():
+    # Paper: "we will use the range of 0.37 to 0.56".
+    assert AI_LOW == pytest.approx(0.375)
+    assert AI_HIGH == pytest.approx(0.5625)
+    assert FLOP_PER_POINT == 9
+
+
+def test_memory_bound_attainable():
+    pt = attainable(ai=0.5, bandwidth=40e9, peak_flops=1e12)
+    assert pt.memory_bound
+    assert pt.attainable_flops == pytest.approx(20e9)
+
+
+def test_compute_bound_attainable():
+    pt = attainable(ai=100.0, bandwidth=40e9, peak_flops=1e12)
+    assert not pt.memory_bound
+    assert pt.attainable_flops == 1e12
+
+
+def test_stencil_is_memory_bound_on_both_machines():
+    for machine in (nacl(), stampede2()):
+        for ai in (AI_LOW, AI_HIGH):
+            assert node_attainable(machine.node, ai).memory_bound
+
+
+def test_paper_brackets():
+    lo, hi = stencil_peak_range(nacl().node)
+    # Paper: 14.5 to 21.9 GFLOP/s (using rounded 39.1 GB/s).
+    assert lo / 1e9 == pytest.approx(14.5, rel=0.05)
+    assert hi / 1e9 == pytest.approx(21.9, rel=0.05)
+    lo, hi = stencil_peak_range(stampede2().node)
+    # Paper: 63.8 to 96.6 GFLOP/s.
+    assert lo / 1e9 == pytest.approx(63.8, rel=0.05)
+    assert hi / 1e9 == pytest.approx(96.6, rel=0.05)
+
+
+def test_ridge_point():
+    assert ridge_point(40e9, 120e9) == pytest.approx(3.0)
+    with pytest.raises(ValueError):
+        ridge_point(0, 1)
+    with pytest.raises(ValueError):
+        attainable(-1, 1, 1)

@@ -1,0 +1,71 @@
+"""VecScatter ghost gathers."""
+
+import numpy as np
+import pytest
+
+from repro.petsclite.scatter import ScatterPlan
+from repro.petsclite.vec import Vec, VecLayout
+
+
+def make_plan():
+    lay = VecLayout(n=12, nranks=3)  # ranges 0-4, 4-8, 8-12
+    needed = [
+        np.array([4, 5, 11]),  # rank 0 needs from ranks 1 and 2
+        np.array([3, 8]),  # rank 1 needs from 0 and 2
+        np.array([], dtype=np.int64),  # rank 2 self-sufficient
+    ]
+    return lay, ScatterPlan.build(lay, needed)
+
+
+def test_messages_grouped_by_owner():
+    _, plan = make_plan()
+    assert set(plan.messages) == {(1, 0), (2, 0), (0, 1), (2, 1)}
+    assert plan.messages[(1, 0)].tolist() == [4, 5]
+    assert plan.messages[(2, 0)].tolist() == [11]
+
+
+def test_gather_values():
+    lay, plan = make_plan()
+    vec = Vec.from_global(lay, 10.0 * np.arange(12.0))
+    ghosts = plan.gather(vec, 0)
+    assert ghosts.tolist() == [40.0, 50.0, 110.0]
+    assert plan.gather(vec, 2).size == 0
+
+
+def test_gather_layout_checked():
+    _, plan = make_plan()
+    wrong = Vec(VecLayout(n=12, nranks=4))
+    with pytest.raises(ValueError):
+        plan.gather(wrong, 0)
+
+
+def test_ghost_position():
+    _, plan = make_plan()
+    pos = plan.ghost_position(0, np.array([5, 11]))
+    assert pos.tolist() == [1, 2]
+    with pytest.raises(KeyError):
+        plan.ghost_position(0, np.array([7]))
+
+
+def test_owned_indices_rejected():
+    lay = VecLayout(n=12, nranks=3)
+    with pytest.raises(ValueError):
+        ScatterPlan.build(lay, [np.array([1]), np.array([]), np.array([])])
+
+
+def test_census_intra_vs_inter_node():
+    _, plan = make_plan()
+    # 3 ranks on one node each.
+    stats = plan.message_census(ranks_per_node=1)
+    assert stats["messages"] == 4
+    assert stats["remote_messages"] == 4
+    assert stats["bytes"] == (2 + 1 + 1 + 1) * 8
+    # All ranks packed on one node: nothing is remote.
+    stats = plan.message_census(ranks_per_node=3)
+    assert stats["remote_messages"] == 0 and stats["remote_bytes"] == 0
+
+
+def test_duplicate_indices_deduplicated():
+    lay = VecLayout(n=12, nranks=3)
+    plan = ScatterPlan.build(lay, [np.array([4, 4, 5]), np.array([]), np.array([])])
+    assert plan.needed[0].tolist() == [4, 5]

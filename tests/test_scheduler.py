@@ -1,0 +1,58 @@
+"""Ready-queue policies."""
+
+import pytest
+
+from repro.runtime.scheduler import FifoQueue, LifoQueue, PriorityQueue, make_queue
+from repro.runtime.task import Task
+
+
+def tasks(*priorities):
+    return [Task(f"t{i}", node=0, priority=p) for i, p in enumerate(priorities)]
+
+
+def test_fifo_order():
+    q = FifoQueue()
+    ts = tasks(0, 0, 0)
+    for t in ts:
+        q.push(t)
+    assert [q.pop() for _ in range(3)] == ts
+
+
+def test_lifo_order():
+    q = LifoQueue()
+    ts = tasks(0, 0, 0)
+    for t in ts:
+        q.push(t)
+    assert [q.pop() for _ in range(3)] == ts[::-1]
+
+
+def test_priority_order_highest_first():
+    q = PriorityQueue()
+    ts = tasks(1, 5, 3)
+    for t in ts:
+        q.push(t)
+    assert [q.pop().priority for _ in range(3)] == [5, 3, 1]
+
+
+def test_priority_fifo_among_equals():
+    q = PriorityQueue()
+    ts = tasks(2, 2, 2)
+    for t in ts:
+        q.push(t)
+    assert [q.pop() for _ in range(3)] == ts
+
+
+def test_lengths():
+    for q in (FifoQueue(), LifoQueue(), PriorityQueue()):
+        assert len(q) == 0
+        q.push(Task("a", node=0))
+        assert len(q) == 1
+        q.pop()
+        assert len(q) == 0
+
+
+def test_make_queue():
+    assert isinstance(make_queue("fifo"), FifoQueue)
+    assert isinstance(make_queue("PRIORITY"), PriorityQueue)
+    with pytest.raises(KeyError):
+        make_queue("random")

@@ -1,0 +1,71 @@
+"""STREAM benchmark: model calibration and host measurement."""
+
+import pytest
+
+from repro.machine.machine import nacl, stampede2
+from repro.machine.node import NodeSpec
+from repro.machine.stream import (
+    MODES,
+    PAPER_TABLE1,
+    model,
+    run_host,
+    scaling_curve,
+)
+
+
+@pytest.mark.parametrize("machine,scale", [
+    (nacl(), "1-core"), (nacl(), "1-node"),
+    (stampede2(), "1-core"), (stampede2(), "1-node"),
+])
+def test_model_reproduces_table1(machine, scale):
+    got = model(machine.node, scale, system=machine.name)
+    want = PAPER_TABLE1[(machine.name, scale)]
+    for mode in MODES:
+        assert got[mode] == pytest.approx(want[mode], rel=1e-9)
+
+
+def test_model_unknown_system_uses_average_ratios():
+    node = NodeSpec(
+        name="generic", cores=8, core_stream_bw=10e9, node_stream_bw=50e9,
+        core_peak_flops=10e9,
+    )
+    row = model(node, "1-node", system="generic")
+    assert row.copy == pytest.approx(50e9 / 1e6)
+    assert row.add > 0 and row.triad > 0
+
+
+def test_model_rejects_bad_scale():
+    with pytest.raises(ValueError):
+        model(nacl().node, "2-nodes")
+
+
+def test_run_host_produces_positive_bandwidths():
+    result = run_host(elements=200_000, repeats=2)
+    for mode in MODES:
+        assert result[mode] > 0
+    # COPY and SCALE move the same bytes; both should be the same
+    # order of magnitude (loose: host variance).
+    assert 0.2 < result["COPY"] / result["SCALE"] < 5
+
+
+def test_run_host_validation():
+    with pytest.raises(ValueError):
+        run_host(elements=10)
+    with pytest.raises(ValueError):
+        run_host(repeats=0)
+
+
+def test_scaling_curve_saturates():
+    node = nacl().node
+    curve = scaling_curve(node)
+    bws = [bw for _, bw in curve]
+    assert bws == sorted(bws)
+    assert bws[0] == node.core_stream_bw
+    assert bws[-1] == node.node_stream_bw
+    # A single core cannot saturate the interface (paper's observation).
+    assert bws[0] < node.node_stream_bw
+
+
+def test_stream_result_row_shape():
+    row = model(nacl().node, "1-core").as_row()
+    assert row[0] == "NaCL" and row[1] == "1-core" and len(row) == 6

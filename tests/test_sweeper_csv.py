@@ -1,0 +1,90 @@
+"""Sweep harness and CSV round-tripping."""
+
+import pytest
+
+from repro.analysis import csvio
+from repro.experiments.sweeper import Sweep, best, pivot
+from repro.stencil.problem import JacobiProblem
+
+
+def small_sweep(**axes):
+    sweep = Sweep(problem=JacobiProblem(n=576, iterations=4))
+    return sweep.run(**axes)
+
+
+def test_sweep_cartesian_product():
+    records = small_sweep(
+        machine=("nacl",), nodes=(4,),
+        impl=["base-parsec", "ca-parsec"], ratio=[1.0, 0.5], tile=[144],
+        steps=[4],
+    )
+    assert len(records) == 4
+    impls = {r["impl"] for r in records}
+    assert impls == {"base-parsec", "ca-parsec"}
+    assert all(r["machine_preset"] == "nacl" and r["nodes"] == 4 for r in records)
+
+
+def test_sweep_multiple_machines_and_nodes():
+    records = small_sweep(
+        machine=("nacl", "stampede2"), nodes=(1, 4),
+        impl=["base-parsec"], tile=[144],
+    )
+    assert len(records) == 4
+    assert {(r["machine_preset"], r["nodes"]) for r in records} == {
+        ("nacl", 1), ("nacl", 4), ("stampede2", 1), ("stampede2", 4),
+    }
+
+
+def test_sweep_progress_callback():
+    seen = []
+    sweep = Sweep(problem=JacobiProblem(n=576, iterations=3),
+                  on_result=seen.append)
+    sweep.run(impl=["base-parsec"], tile=[144], nodes=(4,))
+    assert len(seen) == 1 and seen[0]["impl"] == "base-parsec"
+
+
+def test_sweep_validation():
+    sweep = Sweep(problem=JacobiProblem(n=576, iterations=3))
+    with pytest.raises(ValueError, match="unknown sweep axes"):
+        sweep.run(flavour=["spicy"])
+    with pytest.raises(TypeError):
+        sweep.run(impl="base-parsec")  # scalar, not a sequence
+
+
+def test_best_and_pivot():
+    records = small_sweep(
+        impl=["base-parsec"], ratio=[1.0, 0.5, 0.25], tile=[144], nodes=(4,),
+    )
+    top = best(records)
+    assert top["ratio"] == 0.25  # smaller ratio -> higher nominal GFLOP/s
+    rows, cols, matrix = pivot(records, "ratio", "impl")
+    assert rows == [0.25, 0.5, 1.0] and cols == ["base-parsec"]
+    assert all(m[0] is not None for m in matrix)
+    with pytest.raises(ValueError):
+        best([])
+
+
+def test_csv_roundtrip(tmp_path):
+    records = [
+        {"impl": "ca-parsec", "nodes": 4, "gflops": 12.5, "overlap": True,
+         "note": None},
+        {"impl": "petsc", "nodes": 16, "gflops": 6.25, "overlap": False,
+         "note": "x"},
+    ]
+    path = tmp_path / "sweep.csv"
+    csvio.write_csv(records, str(path))
+    back = csvio.read_csv(str(path))
+    assert back == records
+
+
+def test_csv_field_selection_and_empty():
+    text = csvio.dumps([{"a": 1, "b": 2}], fields=["b"])
+    assert text.splitlines()[0] == "b"
+    assert csvio.dumps([]) == ""
+    assert csvio.loads("") == []
+
+
+def test_csv_union_of_keys():
+    text = csvio.dumps([{"a": 1}, {"b": 2}])
+    back = csvio.loads(text)
+    assert back == [{"a": 1, "b": None}, {"a": None, "b": 2}]

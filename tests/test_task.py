@@ -1,0 +1,47 @@
+"""Task and Flow basics."""
+
+import pytest
+
+from repro.runtime.task import EdgeCensus, Flow, Task
+
+
+def test_task_defaults():
+    t = Task("a", node=0)
+    assert t.inputs == () and t.cost == 0.0 and t.kind == "task"
+    assert t.out_nbytes == {} and t.priority == 0
+
+
+def test_task_validation():
+    with pytest.raises(ValueError):
+        Task("a", node=-1)
+    with pytest.raises(ValueError):
+        Task("a", node=0, cost=-1.0)
+    with pytest.raises(ValueError):
+        Task("a", node=0, flops=-1)
+    with pytest.raises(ValueError):
+        Task("a", node=0, redundant_flops=-1)
+
+
+def test_flow_validation():
+    Flow("p", "out", 0)  # zero-byte control edges are legal
+    with pytest.raises(ValueError):
+        Flow("p", "out", -1)
+
+
+def test_task_keys_arbitrary_hashables():
+    t = Task(("st", 1, 2, 3), node=1, inputs=(Flow(("st", 1, 2, 2), "tile"),))
+    assert t.key == ("st", 1, 2, 3)
+    assert t.inputs[0].producer == ("st", 1, 2, 2)
+
+
+def test_edge_census_accumulates():
+    c = EdgeCensus()
+    c.add_local(100)
+    c.add_local(50)
+    c.add_remote(0, 1, 1000)
+    c.add_remote(0, 1, 2000)
+    c.add_remote(1, 0, 10)
+    assert c.local_edges == 2 and c.local_bytes == 150
+    assert c.remote_messages == 3 and c.remote_bytes == 3010
+    assert c.by_pair[(0, 1)] == (2, 3000)
+    assert c.by_pair[(1, 0)] == (1, 10)

@@ -1,0 +1,82 @@
+"""TileSpec: extended arrays and coordinate arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.distgrid.tile import TileSpec
+
+
+def make_tile(pads=(1, 1, 1, 1), remote=(False,) * 4, has=(True,) * 4):
+    return TileSpec(
+        i=1, j=2, r0=10, r1=16, c0=20, c1=24, node=0,
+        pads=pads, remote=remote, has_neighbor=has,
+    )
+
+
+def test_shapes():
+    t = make_tile(pads=(3, 1, 1, 3), remote=(True, False, False, True))
+    assert (t.h, t.w) == (6, 4)
+    assert t.ext_shape() == (6 + 4, 4 + 4)
+    assert t.is_boundary()
+    assert not make_tile().is_boundary()
+
+
+def test_core_roundtrip():
+    t = make_tile(pads=(2, 1, 1, 2), remote=(True, False, False, True))
+    ext = t.alloc_ext(fill=-1.0)
+    values = np.arange(24.0).reshape(6, 4)
+    t.load_core(ext, values)
+    assert np.array_equal(t.core(ext), values)
+    # Pads untouched.
+    assert ext[0, 0] == -1.0
+
+
+def test_ext_slices_bounds_checked():
+    t = make_tile(pads=(2, 1, 1, 2), remote=(True, False, False, True))
+    rs, cs = t.ext_slices(((-2, 6), (0, 4)))
+    assert rs == slice(0, 8) and cs == slice(1, 5)
+    with pytest.raises(IndexError):
+        t.ext_slices(((-3, 6), (0, 4)))  # beyond north pad
+    with pytest.raises(IndexError):
+        t.ext_slices(((0, 6), (0, 7)))  # beyond east pad
+
+
+def test_extract_paste_roundtrip():
+    t = make_tile(pads=(2, 2, 2, 2), remote=(True,) * 4)
+    ext = t.alloc_ext()
+    block = np.full((2, 4), 7.0)
+    t.paste(ext, ((-2, 0), (0, 4)), block)
+    assert np.array_equal(t.extract(ext, ((-2, 0), (0, 4))), block)
+    # extract returns a copy.
+    out = t.extract(ext, ((-2, 0), (0, 4)))
+    out[:] = 0
+    assert ext[0, 2] == 7.0
+
+
+def test_paste_shape_mismatch():
+    t = make_tile()
+    ext = t.alloc_ext()
+    with pytest.raises(ValueError):
+        t.paste(ext, ((0, 2), (0, 2)), np.zeros((3, 3)))
+    with pytest.raises(ValueError):
+        t.load_core(ext, np.zeros((2, 2)))
+
+
+def test_global_coords():
+    t = make_tile(pads=(1, 1, 1, 1))
+    gr, gc = t.global_coords()
+    assert gr.shape == t.ext_shape()
+    assert gr[0, 0] == 9 and gc[0, 0] == 19  # r0-1, c0-1
+    assert gr[-1, -1] == 16 and gc[-1, -1] == 24
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TileSpec(i=0, j=0, r0=5, r1=5, c0=0, c1=2, node=0,
+                 pads=(1,) * 4, remote=(False,) * 4, has_neighbor=(True,) * 4)
+    with pytest.raises(ValueError):
+        make_tile(pads=(-1, 1, 1, 1))
+    with pytest.raises(ValueError):
+        # remote side without a neighbour is contradictory
+        make_tile(remote=(True, False, False, False),
+                  has=(False, True, True, True))

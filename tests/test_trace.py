@@ -1,0 +1,99 @@
+"""Trace capture and analysis."""
+
+import pytest
+
+from repro.runtime.engine import Engine
+from repro.runtime.graph import TaskGraph
+from repro.runtime.task import Flow
+from repro.runtime.trace import (
+    Span,
+    Trace,
+    idle_fraction_timeline,
+    kind_statistics,
+)
+
+from .test_engine import simple_machine
+
+
+def make_trace():
+    t = Trace()
+    t.record(0, 0, "interior", 0.0, 1.0)
+    t.record(0, 0, "interior", 1.0, 2.0)
+    t.record(0, 1, "boundary", 0.0, 3.0)
+    t.record(0, -1, "send", 0.5, 0.6)
+    t.record(1, 0, "interior", 0.0, 0.5)
+    return t
+
+
+def test_span_validation():
+    with pytest.raises(ValueError):
+        Span(0, 0, "x", 2.0, 1.0)
+    assert Span(0, 0, "x", 1.0, 3.0).duration == 2.0
+
+
+def test_selection_helpers():
+    t = make_trace()
+    assert len(t.for_node(0)) == 4
+    assert len(t.compute_spans()) == 4
+    assert len(t.comm_spans()) == 1
+    assert t.kinds() == {"interior", "boundary", "send"}
+    assert t.makespan() == 3.0
+
+
+def test_median_and_busy():
+    t = make_trace()
+    assert t.median_duration("interior") == pytest.approx(1.0)
+    assert t.busy_time(node=0) == pytest.approx(1 + 1 + 3)
+    assert t.busy_time(node=0, compute_only=False) == pytest.approx(5.1)
+
+
+def test_occupancy():
+    t = make_trace()
+    # node 0: workers busy 5.0 of 2 workers x 3.0 horizon.
+    assert t.occupancy(0, workers=2) == pytest.approx(5.0 / 6.0)
+    with pytest.raises(ValueError):
+        t.occupancy(0, workers=0)
+
+
+def test_validate_no_overlap_passes_engine_traces():
+    g = TaskGraph()
+    for i in range(20):
+        inputs = (Flow(i - 4, "o", 8),) if i >= 4 else ()
+        g.add_task(i, node=i % 2, cost=0.01, inputs=inputs, out_nbytes={"o": 8})
+    eng = Engine(g, simple_machine(), trace=True)
+    eng.run()
+    eng.trace.validate_no_overlap()
+
+
+def test_validate_no_overlap_detects_conflict():
+    t = Trace()
+    t.record(0, 0, "a", 0.0, 2.0)
+    t.record(0, 0, "b", 1.0, 3.0)
+    with pytest.raises(ValueError, match="overlapping"):
+        t.validate_no_overlap()
+
+
+def test_kind_statistics_sorted_by_total():
+    stats = kind_statistics(make_trace())
+    assert stats[0].kind == "boundary"  # 3.0 total beats interior's 2.0
+    interior = next(s for s in stats if s.kind == "interior")
+    assert interior.count == 3 and interior.median == pytest.approx(1.0)
+    # Comm spans are excluded from compute statistics.
+    assert all(s.kind != "send" for s in stats)
+
+
+def test_idle_fraction_timeline():
+    t = Trace()
+    t.record(0, 0, "k", 0.0, 1.0)  # busy first half only
+    t.record(0, 1, "k", 0.0, 2.0)  # busy throughout
+    frac = idle_fraction_timeline(t, 0, workers=2, buckets=2)
+    assert frac == [pytest.approx(1.0), pytest.approx(0.5)]
+    with pytest.raises(ValueError):
+        idle_fraction_timeline(t, 0, 2, buckets=0)
+
+
+def test_disabled_trace_records_nothing():
+    t = Trace()
+    t.enabled = False
+    t.record(0, 0, "k", 0.0, 1.0)
+    assert len(t) == 0

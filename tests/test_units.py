@@ -1,0 +1,38 @@
+"""Unit conversions must be exact and self-inverse."""
+
+import pytest
+
+from repro.machine import units
+
+
+def test_network_units_roundtrip():
+    assert units.gbit_s(32.0) == 32e9 / 8
+    assert units.to_gbit_s(units.gbit_s(27.0)) == pytest.approx(27.0)
+
+
+def test_stream_units_roundtrip():
+    assert units.mb_s(9814.2) == pytest.approx(9.8142e9)
+    assert units.to_mb_s(units.mb_s(40091.3)) == pytest.approx(40091.3)
+    assert units.to_gb_s(units.gb_s(39.1)) == pytest.approx(39.1)
+
+
+def test_flops_units():
+    assert units.gflops(11.0) == 11e9
+    assert units.to_gflops(units.gflops(43.5)) == pytest.approx(43.5)
+
+
+def test_time_units():
+    assert units.usec(1.0) == 1e-6
+    assert units.MICROSECOND * 1e6 == pytest.approx(1.0)
+
+
+def test_binary_vs_decimal_sizes():
+    assert units.KB == 1024
+    assert units.MB == 1024**2
+    assert units.GB == 1024**3
+    assert units.KILO == 1e3 and units.MEGA == 1e6 and units.GIGA == 1e9
+
+
+def test_item_sizes():
+    assert units.DOUBLE == 8
+    assert units.INT64 == 8

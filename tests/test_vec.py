@@ -1,0 +1,86 @@
+"""Distributed vectors and layouts."""
+
+import numpy as np
+import pytest
+
+from repro.petsclite.vec import Vec, VecLayout
+
+
+def test_layout_ranges_partition_vector():
+    lay = VecLayout(n=10, nranks=3)
+    assert lay.ranges == (0, 4, 7, 10)
+    assert lay.range_of(0) == (0, 4)
+    assert lay.local_size(2) == 3
+    with pytest.raises(IndexError):
+        lay.range_of(3)
+
+
+def test_owner_lookup():
+    lay = VecLayout(n=10, nranks=3)
+    assert [lay.owner(i) for i in range(10)] == [0, 0, 0, 0, 1, 1, 1, 2, 2, 2]
+    with pytest.raises(IndexError):
+        lay.owner(10)
+    owners = lay.owners(np.array([0, 4, 9]))
+    assert owners.tolist() == [0, 1, 2]
+    with pytest.raises(IndexError):
+        lay.owners(np.array([-1]))
+
+
+def test_layout_validation():
+    with pytest.raises(ValueError):
+        VecLayout(n=2, nranks=3)
+    with pytest.raises(ValueError):
+        VecLayout(n=2, nranks=0)
+
+
+def test_from_global_roundtrip():
+    lay = VecLayout(n=11, nranks=4)
+    data = np.arange(11.0)
+    v = Vec.from_global(lay, data)
+    assert np.array_equal(v.to_global(), data)
+    assert v.local(0).shape == (3,)
+    with pytest.raises(ValueError):
+        Vec.from_global(lay, np.zeros(5))
+
+
+def test_blas_operations():
+    lay = VecLayout(n=8, nranks=2)
+    x = Vec.from_global(lay, np.arange(8.0))
+    y = x.duplicate()
+    y.axpy(2.0, x)
+    assert np.array_equal(y.to_global(), 3.0 * np.arange(8.0))
+    y.scale(0.5)
+    assert np.array_equal(y.to_global(), 1.5 * np.arange(8.0))
+    assert x.dot(x) == pytest.approx(float((np.arange(8.0) ** 2).sum()))
+    assert x.norm() == pytest.approx(np.linalg.norm(np.arange(8.0)))
+    assert x.norm(np.inf) == 7.0
+
+
+def test_swap():
+    lay = VecLayout(n=4, nranks=2)
+    x = Vec.from_global(lay, np.zeros(4))
+    y = Vec.from_global(lay, np.ones(4))
+    x.swap(y)
+    assert np.all(x.to_global() == 1.0) and np.all(y.to_global() == 0.0)
+
+
+def test_set():
+    lay = VecLayout(n=4, nranks=2)
+    v = Vec(lay)
+    v.set(7.0)
+    assert np.all(v.to_global() == 7.0)
+
+
+def test_layout_mismatch_rejected():
+    x = Vec(VecLayout(n=4, nranks=2))
+    y = Vec(VecLayout(n=4, nranks=4))
+    with pytest.raises(ValueError):
+        x.axpy(1.0, y)
+
+
+def test_local_sizes_checked():
+    lay = VecLayout(n=4, nranks=2)
+    with pytest.raises(ValueError):
+        Vec(lay, [np.zeros(3), np.zeros(1)])
+    with pytest.raises(ValueError):
+        Vec(lay, [np.zeros(2)])

@@ -1,0 +1,103 @@
+"""The static schedule verifier: accepts the real schedule, rejects
+broken ones."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.spec import StencilSpec
+from repro.core.verify import ScheduleError, verify_schedule
+from repro.distgrid.halo import StripSpec
+from repro.distgrid.partition import GridPartition, ProcessGrid
+from repro.stencil.problem import JacobiProblem
+
+
+def make_spec(n=24, nodes=4, tile=4, steps=3, T=9):
+    return StencilSpec.create(
+        JacobiProblem(n=n, iterations=T), nodes=nodes, tile=tile, steps=steps
+    )
+
+
+def test_real_schedule_verifies():
+    checks = verify_schedule(make_spec())
+    assert checks > 0
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.integers(1, 3), st.integers(1, 3), st.integers(2, 6),
+    st.integers(1, 4), st.integers(0, 8),
+)
+def test_schedule_valid_for_arbitrary_configs(prows, pcols, tile, steps, T):
+    pgrid = ProcessGrid(prows, pcols)
+    nrows = max(prows * tile, 12)
+    ncols = max(pcols * tile, 10)
+    partition = GridPartition(nrows, ncols, pgrid, tile)
+    steps = min(steps, partition.min_tile_dim())
+    spec = StencilSpec(
+        problem=JacobiProblem(n=nrows, ncols=ncols, iterations=T),
+        partition=partition,
+        steps=steps,
+    )
+    verify_schedule(spec)
+
+
+class _NoCorners(StencilSpec):
+    """A deliberately broken schedule: PA1 without the corner blocks
+    the paper says boundary tiles must buffer."""
+
+    def corner_block(self, consumer, corner):
+        return None
+
+
+class _ShallowRemote(StencilSpec):
+    """Remote refresh strips one layer too shallow."""
+
+    def deep_strip(self, consumer, side):
+        strip = super().deep_strip(consumer, side)
+        if strip is None or self.steps == 1:
+            return strip
+        return StripSpec(side=strip.side, depth=strip.depth - 1)
+
+
+class _NoLocalExtension(StencilSpec):
+    """Local strips without the perpendicular extension into the
+    redundantly computed halo."""
+
+    def local_strip(self, consumer, side, t_consumer):
+        strip = super().local_strip(consumer, side, t_consumer)
+        if strip is None:
+            return None
+        return StripSpec(side=strip.side, depth=strip.depth)
+
+
+def _variant(cls, steps=3):
+    base = make_spec(steps=steps)
+    return cls(problem=base.problem, partition=base.partition, steps=base.steps)
+
+
+def test_missing_corners_detected():
+    with pytest.raises(ScheduleError):
+        verify_schedule(_variant(_NoCorners))
+
+
+def test_shallow_remote_strips_detected():
+    with pytest.raises(ScheduleError):
+        verify_schedule(_variant(_ShallowRemote))
+
+
+def test_missing_local_extension_detected():
+    with pytest.raises(ScheduleError):
+        verify_schedule(_variant(_NoLocalExtension))
+
+
+def test_base_schedule_unaffected_by_corner_removal():
+    """The base (s=1) scheme needs no corners, so removing them must
+    still verify -- the verifier is not over-strict."""
+    verify_schedule(_variant(_NoCorners, steps=1))
+
+
+def test_iteration_cap():
+    spec = make_spec(T=50)
+    checks_small = verify_schedule(spec, iterations=2)
+    checks_more = verify_schedule(spec, iterations=4)
+    assert checks_more > checks_small
