@@ -59,7 +59,7 @@ def test_fig9_redundant_work_grows_with_steps(once, show):
         return fractions, messages
 
     fractions, messages = once(_sweep)
-    show(f"redundant-work fraction by step size: "
+    show("redundant-work fraction by step size: "
          + ", ".join(f"s={s}: {f:.2%}" for s, f in fractions.items()),
          f"messages by step size: {messages}")
     assert fractions[5] < fractions[15] < fractions[40]

@@ -27,6 +27,7 @@ from .machine import (
     summit_like,
 )
 from .core import (
+    BACKENDS,
     DirichletBC,
     IMPLEMENTATIONS,
     JacobiProblem,
@@ -36,13 +37,16 @@ from .core import (
     run,
     validate_implementations,
 )
+from .exec import ThreadedExecutor
 from .runtime import Engine, TaskGraph, Trace
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BACKENDS",
     "DirichletBC",
     "Engine",
+    "ThreadedExecutor",
     "IMPLEMENTATIONS",
     "JacobiProblem",
     "MachineSpec",

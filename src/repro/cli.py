@@ -4,7 +4,10 @@ Gives the library's main entry points a shell-friendly face:
 
 * ``run`` -- run one implementation on one machine configuration and
   print the performance summary (optionally verify against the
-  reference or export a Chrome trace);
+  reference or export a Chrome trace); ``--backend threads --jobs N``
+  executes the graph for real on this host's cores;
+* ``compare`` -- simulated-vs-measured side-by-side plus a measured
+  speedup curve over worker counts;
 * ``experiment`` -- regenerate one of the paper's tables/figures by
   registry id (``table1``, ``fig5`` ... ``headlines``);
 * ``validate`` -- the cross-implementation equivalence check;
@@ -17,7 +20,7 @@ import argparse
 import sys
 
 from .analysis.tables import format_table
-from .core.runner import IMPLEMENTATIONS, run
+from .core.runner import BACKENDS, IMPLEMENTATIONS, run
 from .core.validate import validate_implementations
 from .machine.machine import PRESETS, preset
 from .stencil.problem import JacobiProblem
@@ -38,8 +41,30 @@ def _add_run_parser(sub: argparse._SubParsersAction) -> None:
                    choices=("priority", "fifo", "lifo"))
     p.add_argument("--execute", action="store_true",
                    help="run real kernels and check against the reference")
+    p.add_argument("--backend", choices=BACKENDS, default="sim",
+                   help="'sim' = discrete-event model (virtual clock), "
+                        "'threads' = real parallel execution on this host")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker threads for --backend threads "
+                        "(default: all cores)")
     p.add_argument("--trace-out", default=None, metavar="FILE.json",
                    help="write a Chrome trace-event file")
+
+
+def _add_compare_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "compare",
+        help="simulated-vs-measured report (model clock vs wall clock)",
+    )
+    p.add_argument("--impl", choices=IMPLEMENTATIONS + ("all",), default="all")
+    p.add_argument("--n", type=int, default=192, help="grid edge length")
+    p.add_argument("--iterations", type=int, default=24)
+    p.add_argument("--tile", type=int, default=48)
+    p.add_argument("--steps", type=int, default=4, help="CA step size")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker threads for the measured runs")
+    p.add_argument("--curve", action="store_true",
+                   help="also measure a speedup curve over 1/2/4 workers")
 
 
 def _add_experiment_parser(sub: argparse._SubParsersAction) -> None:
@@ -64,6 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     _add_run_parser(sub)
+    _add_compare_parser(sub)
     _add_experiment_parser(sub)
     _add_validate_parser(sub)
     sub.add_parser("machines", help="list machine presets")
@@ -83,6 +109,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         policy=args.policy,
         mode="execute" if args.execute else "simulate",
         trace=args.trace_out is not None,
+        backend=args.backend,
+        jobs=args.jobs,
     )
     print(result.summary())
     if args.execute:
@@ -98,6 +126,49 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         chrome_trace.write(result.trace, args.trace_out)
         print(f"trace written to {args.trace_out} (open in chrome://tracing)")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .exec.compare import (
+        compare_all,
+        compare_backends,
+        format_comparison,
+        speedup_curve,
+    )
+
+    problem = JacobiProblem(n=args.n, iterations=args.iterations)
+    if args.impl == "all":
+        comparisons = compare_all(
+            problem, jobs=args.jobs, tile=args.tile, steps=args.steps
+        )
+    else:
+        kwargs = {}
+        if args.impl != "petsc":
+            kwargs["tile"] = args.tile
+        if args.impl == "ca-parsec":
+            kwargs["steps"] = args.steps
+        comparisons = [
+            compare_backends(problem, impl=args.impl, jobs=args.jobs, **kwargs)
+        ]
+    title = (
+        f"model (virtual clock) vs measured (wall clock), "
+        f"{problem.shape[0]}^2 x {problem.iterations} iterations, "
+        f"{comparisons[0].jobs} worker threads"
+    )
+    print(format_comparison(comparisons, title=title))
+    if args.curve:
+        impl = comparisons[-1].impl
+        kwargs = {} if impl == "petsc" else {"tile": args.tile}
+        if impl == "ca-parsec":
+            kwargs["steps"] = args.steps
+        points = speedup_curve(problem, impl=impl, jobs_list=(1, 2, 4), **kwargs)
+        print(format_table(
+            ("jobs", "wall ms", "speedup", "efficiency"),
+            [(p.jobs, f"{p.elapsed * 1e3:.2f}", f"{p.speedup:.2f}x",
+              f"{100 * p.efficiency:.0f}%") for p in points],
+            title=f"measured strong scaling ({impl})",
+        ))
     return 0
 
 
@@ -188,6 +259,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "compare": _cmd_compare,
         "experiment": _cmd_experiment,
         "validate": _cmd_validate,
         "machines": _cmd_machines,

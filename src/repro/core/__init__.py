@@ -7,7 +7,7 @@ from .ca_parsec import build_ca_graph
 from .dataflow import BuildResult, StencilKernels, build_stencil_graph
 from .petsc_jacobi import PetscBuildResult, build_petsc_graph
 from .report import RunResult
-from .runner import IMPLEMENTATIONS, default_tile, run
+from .runner import BACKENDS, IMPLEMENTATIONS, MODES, default_tile, run
 from .solve import SolveResult, solve_to_tolerance
 from .spec import StencilSpec
 from .validate import ValidationReport, validate_implementations
@@ -19,7 +19,9 @@ from ..stencil.kernels import StencilWeights
 from ..distgrid.boundary import DirichletBC
 
 __all__ = [
+    "BACKENDS",
     "BuildResult",
+    "MODES",
     "analytic",
     "DirichletBC",
     "IMPLEMENTATIONS",

@@ -17,10 +17,12 @@ from ..stencil.problem import JacobiProblem
 class RunResult:
     """Outcome of one :func:`repro.core.runner.run` call.
 
-    ``elapsed`` is *virtual* (modelled) seconds; ``gflops`` divides the
-    problem's nominal useful FLOP (9 n^2 per iteration) by it, exactly
-    how the paper computes every GFLOP/s figure -- redundant CA work
-    and kernel-ratio reductions never change the numerator.
+    ``elapsed`` is *virtual* (modelled) seconds on the simulated
+    backend and measured *wall-clock* seconds when the run used
+    ``backend="threads"``; ``gflops`` divides the problem's nominal
+    useful FLOP (9 n^2 per iteration) by it, exactly how the paper
+    computes every GFLOP/s figure -- redundant CA work and
+    kernel-ratio reductions never change the numerator.
     """
 
     impl: str
@@ -61,9 +63,18 @@ class RunResult:
             return 0.0
         return self.engine.redundant_flops / useful
 
+    @property
+    def backend(self) -> str:
+        """Which backend produced the numbers (``"sim"`` unless the
+        run asked for real execution)."""
+        return self.params.get("backend", "sim")
+
     def occupancy(self) -> float:
         """Mean compute-worker occupancy across nodes (Fig. 10's
-        comparison metric)."""
+        comparison metric).  For a threads-backend run this is the
+        measured busy fraction of the real worker threads."""
+        if self.backend == "threads":
+            return self.engine.occupancy(self.params["jobs"])
         workers = (
             self.machine.node.compute_cores
             if self.params.get("overlap", True)
@@ -95,6 +106,12 @@ class RunResult:
 
     def summary(self) -> str:
         p = ", ".join(f"{k}={v}" for k, v in self.params.items() if v is not None)
+        if self.backend == "threads":
+            return (
+                f"{self.impl} on {self.params['jobs']} worker threads ({p}): "
+                f"{self.elapsed * 1e3:.2f} ms wall, {self.gflops:.2f} GFLOP/s, "
+                f"occupancy {self.occupancy():.2f}"
+            )
         return (
             f"{self.impl} on {self.machine.name} x{self.machine.nodes} "
             f"({p}): {self.elapsed * 1e3:.2f} ms, {self.gflops:.2f} GFLOP/s, "

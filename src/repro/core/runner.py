@@ -1,13 +1,24 @@
 """Unified front door: run any of the three implementations.
 
 ``run(problem, impl=..., machine=..., ...)`` builds the task graph,
-executes it on the discrete-event engine and returns a
-:class:`~repro.core.report.RunResult`.  ``mode`` selects fidelity:
+runs it on the selected backend and returns a
+:class:`~repro.core.report.RunResult`.  Two orthogonal knobs select
+how much is real:
+
+``mode`` -- fidelity of the *simulated* backend:
 
 * ``"simulate"`` -- timing-only graph (no numpy kernels), any problem
   size: this is what the benchmark sweeps use;
 * ``"execute"`` -- real kernels on real data (small/medium problems),
   same virtual-clock timing, plus the final grid in ``result.grid``.
+
+``backend`` -- what executes the graph:
+
+* ``"sim"`` -- the discrete-event engine (virtual clock, modelled
+  cluster), the default;
+* ``"threads"`` -- :class:`repro.exec.ThreadedExecutor`: the same
+  graph on ``jobs`` real worker threads of this host, wall-clock
+  timing, always with real kernels (``mode`` is ignored).
 """
 
 from __future__ import annotations
@@ -17,6 +28,7 @@ from typing import Any
 from ..machine.machine import MachineSpec, nacl
 from ..petsclite.cost import SpMVCostModel
 from ..runtime.engine import Engine
+from ..runtime.scheduler import POLICIES
 from ..stencil.cost import KernelCostModel
 from ..stencil.problem import JacobiProblem
 from .base_parsec import build_base_graph
@@ -25,6 +37,8 @@ from .petsc_jacobi import build_petsc_graph
 from .report import RunResult
 
 IMPLEMENTATIONS = ("petsc", "base-parsec", "ca-parsec")
+MODES = ("simulate", "execute")
+BACKENDS = ("sim", "threads")
 
 
 def default_tile(problem: JacobiProblem, machine: MachineSpec) -> int:
@@ -52,6 +66,8 @@ def run(
     boundary_priority: bool = True,
     include_redundant: bool | None = None,
     pgrid=None,
+    backend: str = "sim",
+    jobs: int | None = None,
 ) -> RunResult:
     """Run ``problem`` with one implementation on one machine model.
 
@@ -59,14 +75,28 @@ def run(
     ``steps`` (Fig. 9, CA only), ``ratio`` (Fig. 8's kernel adjustment),
     ``trace`` (Fig. 10).  ``overlap`` defaults to the implementation's
     natural setting: a dedicated comm thread for the PaRSEC versions,
-    blocking worker-side MPI for PETSc.
+    blocking worker-side MPI for PETSc.  ``backend="threads"`` executes
+    the graph for real on ``jobs`` worker threads (defaults to every
+    core of this host) and reports wall-clock performance.
+
+    All selector strings are validated here, before any graph is
+    built, so a typo fails with the list of choices instead of a
+    confusing error deep in graph construction.
     """
     machine = machine or nacl(4)
-    if mode not in ("simulate", "execute"):
-        raise ValueError('mode must be "simulate" or "execute"')
-    with_kernels = mode == "execute"
     if impl not in IMPLEMENTATIONS:
         raise ValueError(f"unknown impl {impl!r}; choices: {IMPLEMENTATIONS}")
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; choices: {MODES}")
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choices: {BACKENDS}")
+    if policy not in POLICIES:
+        raise ValueError(
+            f"unknown policy {policy!r}; choices: {tuple(sorted(POLICIES))}"
+        )
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be a positive worker count, got {jobs}")
+    with_kernels = mode == "execute" or backend == "threads"
 
     params: dict[str, Any] = {"mode": mode, "policy": policy}
     if impl == "petsc":
@@ -107,6 +137,24 @@ def run(
                 pgrid=pgrid,
             )
             params.update(tile=tile, steps=steps, ratio=ratio, overlap=overlap)
+
+    if backend == "threads":
+        from ..exec.executor import ThreadedExecutor
+
+        executor = ThreadedExecutor(
+            built.graph, jobs=jobs, policy=policy, trace=trace
+        )
+        report = executor.run()
+        params.update(backend="threads", jobs=executor.jobs)
+        grid = built.assemble_grid(report.results)
+        return RunResult(
+            impl=impl,
+            problem=problem,
+            machine=machine,
+            engine=report,
+            params=params,
+            grid=grid,
+        )
 
     engine = Engine(
         built.graph,

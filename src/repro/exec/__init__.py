@@ -1,0 +1,56 @@
+"""repro.exec -- real shared-memory parallel execution of task graphs.
+
+Where :mod:`repro.runtime.engine` *simulates* a distributed machine on
+a virtual clock, this package *executes* the same task graphs on the
+actual host: a pool of worker threads with per-worker queues and work
+stealing runs the numpy kernels (which release the GIL) concurrently,
+records wall-clock traces in the existing trace schema, and reports
+measured performance side by side with the simulator's predictions.
+
+Entry points
+------------
+* :func:`repro.core.runner.run` with ``backend="threads", jobs=N`` --
+  the front door almost everyone wants;
+* :class:`ThreadedExecutor` / :func:`execute` -- run an arbitrary
+  finalized graph directly;
+* :mod:`repro.exec.compare` -- simulated-vs-measured reports.
+"""
+
+from .compare import (
+    BackendComparison,
+    SpeedupPoint,
+    compare_all,
+    compare_backends,
+    format_comparison,
+    speedup_curve,
+)
+from .executor import ExecReport, ThreadedExecutor, default_jobs, execute
+from .futures import ExecutionTimeout, RunCancelled, RunHandle, TaskFuture, TaskRecord
+from .policies import EXEC_POLICIES, make_work_queues
+from .wallclock_trace import HOST_NODE, WallClockRecorder
+
+#: Backend names :func:`repro.core.runner.run` accepts.
+BACKENDS = ("sim", "threads")
+
+__all__ = [
+    "BACKENDS",
+    "BackendComparison",
+    "EXEC_POLICIES",
+    "ExecReport",
+    "ExecutionTimeout",
+    "HOST_NODE",
+    "RunCancelled",
+    "RunHandle",
+    "SpeedupPoint",
+    "TaskFuture",
+    "TaskRecord",
+    "ThreadedExecutor",
+    "WallClockRecorder",
+    "compare_all",
+    "compare_backends",
+    "default_jobs",
+    "execute",
+    "format_comparison",
+    "make_work_queues",
+    "speedup_curve",
+]

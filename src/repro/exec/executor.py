@@ -1,0 +1,393 @@
+"""Shared-memory parallel executor for finalized task graphs.
+
+This is the "real hardware" counterpart of the discrete-event
+simulator in :mod:`repro.runtime.engine`: it runs the *same*
+:class:`~repro.runtime.graph.TaskGraph` objects (base-PaRSEC,
+CA-PaRSEC, PETSc-lite -- any graph whose tasks carry kernels) on a
+pool of worker threads.  The numpy kernels release the GIL, so tiles
+genuinely execute concurrently on multiple cores.
+
+Structure, in the style of high-throughput executors (Parsl's HTEX,
+PaRSEC's per-core queues):
+
+* the ready set is seeded from the in-degree-0 tasks, distributed
+  round-robin over per-worker queues;
+* each worker drains its own queue and *steals* from its neighbours
+  when empty (:mod:`repro.exec.policies` selects the discipline);
+* completing a task publishes its outputs into a refcounted payload
+  store and releases its consumers' dependency counts; tasks reaching
+  zero become ready on the completing worker's queue (data-locality:
+  the consumer's inputs are cache-hot there);
+* one mutex guards the bookkeeping only -- kernels run outside it.
+
+The report mirrors :class:`~repro.runtime.engine.EngineReport` (it
+*is* one, extended), so :class:`~repro.core.report.RunResult`, the
+occupancy/Gantt analyses and the Chrome-trace exporter all work
+unchanged on measured runs.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..runtime.engine import EngineReport, KernelError
+from ..runtime.graph import TaskGraph
+from ..runtime.task import Task, TaskKey
+from .futures import RunCancelled, RunHandle, TaskRecord
+from .policies import make_work_queues
+from .wallclock_trace import HOST_NODE, WallClockRecorder
+
+
+def default_jobs() -> int:
+    """Worker count when the caller does not choose one: every core."""
+    return os.cpu_count() or 1
+
+
+@dataclass
+class ExecReport(EngineReport):
+    """An :class:`EngineReport` whose times are wall-clock seconds.
+
+    ``elapsed`` is measured, ``node_busy`` holds the single host node's
+    total worker-busy seconds, and the extra fields describe the
+    thread pool itself.  ``messages`` is always 0: shared memory moves
+    no network messages (the whole point of comparing against the
+    simulator's modelled cluster).
+    """
+
+    #: number of worker threads that executed the graph
+    jobs: int = 0
+    #: scheduling policy the pool ran under
+    policy: str = "lifo"
+    #: tasks acquired by stealing from another worker's queue
+    steals: int = 0
+    #: busy wall-clock seconds per worker thread
+    worker_busy: dict[int, float] = field(default_factory=dict)
+    #: keys of every task that completed (the determinism tests compare
+    #: these sets across runs -- schedules may differ, sets may not)
+    completed: frozenset = frozenset()
+
+    @property
+    def worker_occupancy(self) -> float:
+        """Mean busy fraction of the worker threads over the run."""
+        if self.elapsed <= 0 or self.jobs <= 0:
+            return 0.0
+        return sum(self.worker_busy.values()) / (self.jobs * self.elapsed)
+
+
+class ThreadedExecutor:
+    """Execute a finalized, kernel-carrying task graph on real threads.
+
+    Parameters
+    ----------
+    graph:
+        The task graph; every task that owns consumed data flows must
+        carry a kernel (build with ``with_kernels=True``).
+    jobs:
+        Worker threads; defaults to the host's core count.
+    policy:
+        ``"fifo"`` / ``"lifo"`` / ``"priority"`` -- same names as the
+        simulator's scheduler (see :mod:`repro.exec.policies`).
+    trace:
+        Capture a wall-clock :class:`~repro.runtime.trace.Trace`.
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        jobs: int | None = None,
+        policy: str = "lifo",
+        trace: bool = False,
+    ) -> None:
+        graph.finalize()
+        self.graph = graph
+        self.jobs = jobs if jobs is not None else default_jobs()
+        if self.jobs < 1:
+            raise ValueError(f"need at least one worker thread, got {self.jobs}")
+        self.policy = policy.lower()
+        self.want_trace = trace
+        self._queues = make_work_queues(self.policy, self.jobs)
+        self._check_executable()
+
+        # Bookkeeping shared by all workers, guarded by _lock.
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._pending: dict[TaskKey, int] = {}
+        self._release: dict[TaskKey, list[TaskKey]] = {}
+        self._store: dict[tuple[TaskKey, str], list] = {}
+        self._refcount: dict[tuple[TaskKey, str], int] = {}
+        self._results: dict[tuple[TaskKey, str], object] = {}
+        self._completed: set[TaskKey] = set()
+        self._unfinished = len(graph)
+        self._steals = 0
+        self._failure: BaseException | None = None
+        self._cancelled = False
+        self._started = False
+
+        self._recorder = WallClockRecorder(self.jobs)
+        self._handle: RunHandle | None = None
+        self._threads: list[threading.Thread] = []
+        self._t_begin = 0.0
+        self._t_end = 0.0
+
+    # -- validation -----------------------------------------------------
+
+    def _check_executable(self) -> None:
+        """Refuse timing-only graphs up front: a task without a kernel
+        can satisfy control edges only (zero-byte flows)."""
+        for task in self.graph:
+            if task.kernel is not None:
+                continue
+            for tag in self.graph.out_tags.get(task.key, ()):
+                if task.out_nbytes.get(tag, 0) or self._max_flow_bytes(task.key, tag):
+                    raise ValueError(
+                        f"task {task.key!r} has no kernel but consumers expect "
+                        f"payload {tag!r}; the threads backend needs a graph "
+                        "built with with_kernels=True (runner mode 'execute')"
+                    )
+
+    def _max_flow_bytes(self, producer: TaskKey, tag: str) -> int:
+        biggest = 0
+        for consumer_key in self.graph.consumers.get((producer, tag), ()):
+            for flow in self.graph[consumer_key].inputs:
+                if flow.producer == producer and flow.tag == tag:
+                    biggest = max(biggest, flow.nbytes)
+        return biggest
+
+    # -- setup -----------------------------------------------------------
+
+    def _prepare(self) -> list[Task]:
+        """Build pending counts, release lists and payload refcounts;
+        returns the in-degree-0 seed tasks in graph order."""
+        seeds: list[Task] = []
+        for task in self.graph:
+            self._pending[task.key] = len(task.inputs)
+            for flow in task.inputs:
+                self._release.setdefault(flow.producer, []).append(task.key)
+                key = (flow.producer, flow.tag)
+                self._refcount[key] = self._refcount.get(key, 0) + 1
+            if not task.inputs:
+                seeds.append(task)
+        return seeds
+
+    def _seed(self, seeds: list[Task]) -> None:
+        for idx, task in enumerate(self._queues.seed_order(seeds)):
+            self._queues.push(idx % self.jobs, task)
+
+    # -- public API --------------------------------------------------------
+
+    def start(self) -> RunHandle:
+        """Launch the worker pool; returns immediately with the handle."""
+        if self._started:
+            raise RuntimeError("a ThreadedExecutor instance runs exactly once")
+        self._started = True
+        self._handle = RunHandle(self._request_cancel)
+        self._seed(self._prepare())
+        self._t_begin = self._recorder.start()
+        self._threads = [
+            threading.Thread(
+                target=self._worker, args=(wid,), name=f"repro-exec-{wid}", daemon=True
+            )
+            for wid in range(self.jobs)
+        ]
+        watcher = threading.Thread(
+            target=self._finalise, name="repro-exec-join", daemon=True
+        )
+        for t in self._threads:
+            t.start()
+        watcher.start()
+        return self._handle
+
+    def run(self, timeout: float | None = None) -> ExecReport:
+        """Start, wait, and return the report (the blocking front door)."""
+        return self.start().result(timeout)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _request_cancel(self) -> None:
+        with self._work_ready:
+            self._cancelled = True
+            self._work_ready.notify_all()
+
+    def _finalise(self) -> None:
+        for t in self._threads:
+            t.join()
+        self._t_end = self._recorder.now()
+        handle = self._handle
+        assert handle is not None
+        if self._failure is not None:
+            handle._finish(None, self._failure)
+        elif self._unfinished > 0:  # cancelled mid-flight
+            handle._finish(
+                None,
+                RunCancelled(
+                    f"run cancelled with {self._unfinished} of "
+                    f"{len(self.graph)} tasks unfinished"
+                ),
+            )
+        else:
+            handle._finish(self._build_report(), None)
+
+    def _build_report(self) -> ExecReport:
+        elapsed = self._t_end - self._t_begin
+        useful, redundant = self.graph.total_flops()
+        worker_busy = self._recorder.busy_per_worker()
+        local_edges = sum(len(t.inputs) for t in self.graph)
+        local_bytes = sum(f.nbytes for t in self.graph for f in t.inputs)
+        return ExecReport(
+            elapsed=elapsed,
+            tasks_run=len(self._completed),
+            messages=0,
+            message_bytes=0,
+            local_edges=local_edges,
+            local_bytes=local_bytes,
+            useful_flops=useful,
+            redundant_flops=redundant,
+            node_busy={HOST_NODE: sum(worker_busy.values())},
+            comm_busy={},
+            max_comm_backlog=0,
+            trace=self._recorder.to_trace() if self.want_trace else None,
+            results=self._results,
+            jobs=self.jobs,
+            policy=self.policy,
+            steals=self._steals,
+            worker_busy=worker_busy,
+            completed=frozenset(self._completed),
+        )
+
+    # -- worker loop ----------------------------------------------------------
+
+    def _next_task(self, wid: int) -> Task | None:
+        """Pop local work, steal, or sleep; ``None`` means shut down."""
+        with self._work_ready:
+            while True:
+                if self._failure is not None or self._cancelled:
+                    return None
+                task = self._queues.pop_local(wid)
+                if task is None:
+                    task = self._queues.steal(wid)
+                    if task is not None:
+                        self._steals += 1
+                if task is not None:
+                    return task
+                if self._unfinished == 0:
+                    return None
+                self._work_ready.wait()
+
+    def _worker(self, wid: int) -> None:
+        recorder = self._recorder
+        while True:
+            task = self._next_task(wid)
+            if task is None:
+                return
+            try:
+                with self._lock:
+                    inputs = self._gather_inputs(task)
+                start = recorder.now()
+                outputs = (
+                    dict(task.kernel(inputs, task)) if task.kernel is not None else {}
+                )
+                end = recorder.now()
+                self._publish(task, outputs, wid)
+            except Exception as exc:  # noqa: BLE001 - forwarded to the handle
+                if not isinstance(exc, KernelError):
+                    exc = KernelError(
+                        f"kernel of task {task.key!r} (kind {task.kind!r}) "
+                        f"failed: {exc}"
+                    )
+                with self._work_ready:
+                    if self._failure is None:
+                        self._failure = exc
+                    self._work_ready.notify_all()
+                return
+            recorder.record(wid, task.kind, start, end, task.key)
+            handle = self._handle
+            if handle is not None:
+                handle._record_done(
+                    task.key,
+                    TaskRecord(
+                        key=task.key,
+                        worker=wid,
+                        start=start - self._t_begin,
+                        end=end - self._t_begin,
+                        kind=task.kind,
+                    ),
+                )
+
+    # -- dataflow bookkeeping ---------------------------------------------------
+
+    def _gather_inputs(self, task: Task) -> dict[tuple[TaskKey, str], object]:
+        inputs: dict[tuple[TaskKey, str], object] = {}
+        for flow in task.inputs:
+            key = (flow.producer, flow.tag)
+            entry = self._store.get(key)
+            if entry is None:
+                raise RuntimeError(
+                    f"payload {key!r} missing when task {task.key!r} started"
+                )
+            inputs[key] = entry[0]
+        return inputs
+
+    def _expected_outputs(self, task: Task, outputs: dict) -> dict:
+        """Same contract as the simulator: every consumed tag must be
+        produced; zero-byte control edges are auto-filled with None."""
+        expected = set(self.graph.out_tags.get(task.key, ()))
+        missing = expected - set(outputs)
+        for tag in missing:
+            if task.out_nbytes.get(tag, 0) == 0 and self._max_flow_bytes(task.key, tag) == 0:
+                outputs[tag] = None
+            else:
+                raise RuntimeError(
+                    f"task {task.key!r} produced tags {sorted(set(outputs))} "
+                    f"but consumers expect {sorted(expected)}"
+                )
+        return outputs
+
+    def _publish(self, task: Task, outputs: dict, wid: int) -> None:
+        """Store outputs, free inputs, release consumers -- one
+        critical section; newly-ready tasks land on worker ``wid``."""
+        outputs = self._expected_outputs(task, outputs)
+        for payload in outputs.values():
+            if isinstance(payload, np.ndarray):
+                payload.setflags(write=False)  # catch cross-thread mutation
+        woke = False
+        with self._work_ready:
+            for tag, payload in outputs.items():
+                key = (task.key, tag)
+                refs = self._refcount.get(key, 0)
+                if refs == 0:
+                    self._results[key] = payload  # terminal output
+                else:
+                    self._store[key] = [payload, refs]
+            for flow in task.inputs:
+                key = (flow.producer, flow.tag)
+                entry = self._store[key]
+                entry[1] -= 1
+                if entry[1] == 0:
+                    del self._store[key]
+            self._completed.add(task.key)
+            self._unfinished -= 1
+            for consumer_key in self._release.get(task.key, ()):
+                self._pending[consumer_key] -= 1
+                if self._pending[consumer_key] == 0:
+                    self._queues.push(wid, self.graph[consumer_key])
+                    woke = True
+            if woke or self._unfinished == 0:
+                self._work_ready.notify_all()
+
+
+def execute(
+    graph: TaskGraph,
+    jobs: int | None = None,
+    policy: str = "lifo",
+    trace: bool = False,
+    timeout: float | None = None,
+) -> ExecReport:
+    """One-shot convenience: run ``graph`` on a fresh pool."""
+    return ThreadedExecutor(graph, jobs=jobs, policy=policy, trace=trace).run(timeout)
+
+
+__all__ = ["ExecReport", "ThreadedExecutor", "default_jobs", "execute"]

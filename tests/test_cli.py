@@ -71,3 +71,33 @@ def test_experiment_unknown():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_run_threads_backend(capsys):
+    rc = main(["run", "--impl", "ca-parsec", "--n", "48", "--iterations", "6",
+               "--tile", "12", "--steps", "3", "--backend", "threads",
+               "--jobs", "2", "--execute"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "worker threads" in out and "ms wall" in out
+    assert "max |error| vs reference: 0.000e+00" in out
+
+
+def test_run_threads_writes_chrome_trace(tmp_path, capsys):
+    path = tmp_path / "wall.json"
+    rc = main(["run", "--n", "48", "--iterations", "4", "--tile", "12",
+               "--steps", "2", "--backend", "threads", "--jobs", "2",
+               "--trace-out", str(path)])
+    assert rc == 0
+    doc = json.loads(path.read_text())
+    assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+
+def test_compare_command(capsys):
+    rc = main(["compare", "--impl", "ca-parsec", "--n", "32",
+               "--iterations", "4", "--tile", "8", "--steps", "2",
+               "--jobs", "2", "--curve"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "model ms" in out and "wall ms" in out
+    assert "measured strong scaling" in out

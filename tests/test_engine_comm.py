@@ -63,7 +63,7 @@ def test_blocking_mode_charges_sends_to_worker():
     wire = 8 / m.network.effective_bw
     # Producer computes, then its worker sends (so + wire-serialization),
     # then latency + receiver-side so charged to the consumer task.
-    expected = 1.0 + (so + 8 / m.network.effective_bw) + 0.0 + so + 1.0
+    expected = 1.0 + (so + wire) + 0.0 + so + 1.0
     assert rep.elapsed == pytest.approx(expected, rel=1e-6)
 
 

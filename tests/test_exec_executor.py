@@ -1,0 +1,253 @@
+"""Unit tests of the threaded executor: pool mechanics, futures,
+cancellation, error propagation and policy plumbing."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.exec import (
+    EXEC_POLICIES,
+    ExecutionTimeout,
+    RunCancelled,
+    ThreadedExecutor,
+    execute,
+    make_work_queues,
+)
+from repro.runtime.engine import KernelError
+from repro.runtime.graph import TaskGraph
+from repro.runtime.task import Flow, Task
+
+
+def diamond_graph(results: list | None = None) -> TaskGraph:
+    """a -> (b, c) -> d with real payloads flowing through."""
+
+    def make(tag_out, delay=0.0):
+        def kernel(inputs, task):
+            if delay:
+                time.sleep(delay)
+            total = sum(v for v in inputs.values() if v is not None) or 1.0
+            if results is not None:
+                results.append(task.key)
+            return {tag_out: total + 1.0}
+
+        return kernel
+
+    g = TaskGraph()
+    g.add(Task("a", node=0, kernel=make("x"), out_nbytes={"x": 8}))
+    g.add(Task("b", node=0, inputs=(Flow("a", "x", 8),), kernel=make("y"),
+               out_nbytes={"y": 8}))
+    g.add(Task("c", node=0, inputs=(Flow("a", "x", 8),), kernel=make("z"),
+               out_nbytes={"z": 8}))
+    g.add(Task("d", node=0,
+               inputs=(Flow("b", "y", 8), Flow("c", "z", 8)),
+               kernel=make("w"), out_nbytes={"w": 8}))
+    return g
+
+
+def chain_graph(n: int = 20) -> TaskGraph:
+    def kernel(inputs, task):
+        val = sum(v for v in inputs.values() if v is not None)
+        return {"v": val + 1.0}
+
+    g = TaskGraph()
+    g.add(Task(0, node=0, kernel=kernel, out_nbytes={"v": 8}))
+    for i in range(1, n):
+        g.add(Task(i, node=0, inputs=(Flow(i - 1, "v", 8),), kernel=kernel,
+                   out_nbytes={"v": 8}))
+    return g
+
+
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+@pytest.mark.parametrize("policy", sorted(EXEC_POLICIES))
+def test_diamond_runs_and_routes_payloads(jobs, policy):
+    report = execute(diamond_graph(), jobs=jobs, policy=policy)
+    assert report.tasks_run == 4
+    assert report.completed == {"a", "b", "c", "d"}
+    # a=2, b=c=3, d=7: payloads really flowed producer -> consumer.
+    assert report.results[("d", "w")] == 7.0
+    assert report.jobs == jobs
+    assert report.elapsed > 0
+
+
+def test_dependency_order_respected():
+    order: list = []
+    execute(diamond_graph(order), jobs=4)
+    assert order.index("a") == 0
+    assert order.index("d") == 3
+
+
+def test_chain_serialises_even_with_many_workers():
+    report = execute(chain_graph(30), jobs=4)
+    assert report.results[(29, "v")] == 30.0
+
+
+def test_terminal_outputs_kept_intermediates_freed():
+    g = diamond_graph()
+    ex = ThreadedExecutor(g, jobs=2)
+    report = ex.run()
+    # Only d's output is terminal; the store drained completely.
+    assert set(report.results) == {("d", "w")}
+    assert ex._store == {}
+
+
+def test_worker_busy_and_occupancy_accounting():
+    report = execute(diamond_graph(), jobs=2)
+    assert set(report.worker_busy) == {0, 1}
+    assert 0 <= report.worker_occupancy <= 1
+    assert report.node_busy[0] == pytest.approx(sum(report.worker_busy.values()))
+
+
+def test_kernel_error_propagates_with_task_identity():
+    def boom(inputs, task):
+        raise RuntimeError("numerical disaster")
+
+    g = TaskGraph()
+    g.add(Task("ok", node=0, kernel=lambda i, t: {"x": 1.0}, out_nbytes={"x": 8}))
+    g.add(Task("bad", node=0, inputs=(Flow("ok", "x", 8),), kernel=boom))
+    with pytest.raises(KernelError, match="'bad'.*numerical disaster"):
+        execute(g, jobs=2)
+
+
+def test_timing_only_graph_rejected():
+    g = TaskGraph()
+    g.add(Task("p", node=0, out_nbytes={"x": 8}))
+    g.add(Task("c", node=0, inputs=(Flow("p", "x", 8),)))
+    with pytest.raises(ValueError, match="with_kernels=True"):
+        ThreadedExecutor(g, jobs=1)
+
+
+def test_invalid_jobs_and_policy_rejected():
+    g = diamond_graph()
+    with pytest.raises(ValueError, match="worker thread"):
+        ThreadedExecutor(g, jobs=0)
+    with pytest.raises(ValueError, match="unknown execution policy"):
+        ThreadedExecutor(g, policy="round-robin")
+
+
+def test_executor_is_single_shot():
+    ex = ThreadedExecutor(diamond_graph(), jobs=1)
+    ex.run()
+    with pytest.raises(RuntimeError, match="exactly once"):
+        ex.start()
+
+
+def test_task_future_resolves_with_record():
+    ex = ThreadedExecutor(diamond_graph(), jobs=2)
+    handle = ex.start()
+    record = handle.future("d").result(timeout=30)
+    assert record.key == "d" and record.kind == "task"
+    assert record.end >= record.start >= 0
+    report = handle.result(timeout=30)
+    assert handle.done() and not handle.running()
+    assert handle.exception() is None
+    assert report.tasks_run == 4
+
+
+def test_result_timeout_without_cancel():
+    gate = threading.Event()
+
+    def slow(inputs, task):
+        gate.wait(30)
+        return {"x": 1.0}
+
+    g = TaskGraph()
+    g.add(Task("slow", node=0, kernel=slow, out_nbytes={}))
+    handle = ThreadedExecutor(g, jobs=1).start()
+    with pytest.raises(ExecutionTimeout):
+        handle.result(timeout=0.05)
+    assert handle.running()  # timeout does not cancel
+    gate.set()
+    report = handle.result(timeout=30)
+    assert report.tasks_run == 1
+
+
+def test_cancel_stops_remaining_work():
+    started = threading.Event()
+    release = threading.Event()
+
+    def first(inputs, task):
+        started.set()
+        release.wait(30)
+        return {"v": 1.0}
+
+    def never(inputs, task):  # pragma: no cover - must not run
+        return {"v": 2.0}
+
+    g = TaskGraph()
+    g.add(Task("first", node=0, kernel=first, out_nbytes={"v": 8}))
+    g.add(Task("second", node=0, inputs=(Flow("first", "v", 8),), kernel=never,
+               out_nbytes={}))
+    handle = ThreadedExecutor(g, jobs=1).start()
+    started.wait(30)
+    assert handle.cancel()
+    release.set()
+    with pytest.raises(RunCancelled):
+        handle.result(timeout=30)
+    assert isinstance(handle.exception(), RunCancelled)
+    # The pending task's future fails rather than hanging forever.
+    with pytest.raises(RunCancelled):
+        handle.future("second").result(timeout=30)
+    assert handle.cancel() is False  # already finished
+
+
+def test_outputs_published_read_only():
+    seen = {}
+
+    def producer(inputs, task):
+        return {"x": np.ones(4)}
+
+    def consumer(inputs, task):
+        arr = inputs[("p", "x")]
+        seen["writeable"] = arr.flags.writeable
+        return {}
+
+    g = TaskGraph()
+    g.add(Task("p", node=0, kernel=producer, out_nbytes={"x": 32}))
+    g.add(Task("c", node=0, inputs=(Flow("p", "x", 32),), kernel=consumer,
+               out_nbytes={}))
+    execute(g, jobs=2)
+    assert seen["writeable"] is False
+
+
+def test_work_stealing_actually_steals():
+    # Many independent tasks seeded onto few queues: with 4 workers
+    # some must steal to keep busy.
+    def kernel(inputs, task):
+        time.sleep(0.001)
+        return {}
+
+    g = TaskGraph()
+    for i in range(40):
+        g.add(Task(i, node=0, kernel=kernel, out_nbytes={}))
+    report = execute(g, jobs=4, policy="lifo")
+    assert report.tasks_run == 40
+    assert report.steals >= 0  # single-core hosts may never need to
+
+
+def test_workqueue_priority_steal_takes_best():
+    qs = make_work_queues("priority", 2)
+    lo = Task("lo", node=0, priority=1)
+    hi = Task("hi", node=0, priority=9)
+    qs.push(0, lo)
+    qs.push(0, hi)
+    assert qs.steal(1) is hi
+    assert qs.pop_local(0) is lo
+    assert qs.pop_local(0) is None and qs.steal(1) is None
+
+
+def test_workqueue_fifo_lifo_ends():
+    fifo = make_work_queues("fifo", 2)
+    a, b = Task("a", node=0), Task("b", node=0)
+    fifo.push(0, a)
+    fifo.push(0, b)
+    assert fifo.pop_local(0) is a       # oldest first
+    lifo = make_work_queues("lifo", 2)
+    lifo.push(0, a)
+    lifo.push(0, b)
+    assert lifo.pop_local(0) is b       # newest first
+    lifo.push(0, b)
+    assert lifo.steal(1) is a           # thief takes the oldest

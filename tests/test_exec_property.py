@@ -1,0 +1,154 @@
+"""Property tests of the threaded backend's central invariant: real
+parallel execution is bit-identical to the single-array reference
+solver for every implementation, any worker count, and any legal
+(grid, tile, pgrid, steps) configuration -- including step sizes that
+do not divide the iteration count."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.runner import run
+from repro.distgrid.partition import GridPartition, ProcessGrid
+from repro.machine.machine import nacl
+from repro.stencil.problem import JacobiProblem
+from tests.conftest import random_problem
+
+JOBS = (1, 2, 4)
+
+
+@st.composite
+def threads_configs(draw):
+    """Random, always-valid (problem geometry, pgrid, tile, steps)."""
+    prows = draw(st.integers(1, 2))
+    pcols = draw(st.integers(1, 2))
+    tile = draw(st.integers(2, 6))
+    nrows = draw(st.integers(prows * tile, 24))
+    ncols = draw(st.integers(pcols * tile, 24))
+    pgrid = ProcessGrid(prows, pcols)
+    partition = GridPartition(nrows, ncols, pgrid, tile)
+    steps = draw(st.integers(1, min(4, partition.min_tile_dim())))
+    # Deliberately allow iterations not divisible by steps (the final
+    # CA superstep is then partial -- the paper's s | T restriction is
+    # lifted by the spec's phase algebra and must stay correct here).
+    iterations = draw(st.integers(1, 9))
+    seed = draw(st.integers(0, 2**16))
+    jobs = draw(st.sampled_from(JOBS))
+    return nrows, ncols, pgrid, tile, steps, iterations, seed, jobs
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(threads_configs())
+def test_threads_backend_bit_identical_to_reference(config):
+    nrows, ncols, pgrid, tile, steps, iterations, seed, jobs = config
+    problem = random_problem(n=nrows, ncols=ncols, iterations=iterations, seed=seed)
+    machine = nacl(pgrid.size)
+    ref = problem.reference_solution()
+    for impl, kwargs in (
+        ("base-parsec", {"tile": tile, "pgrid": pgrid}),
+        ("ca-parsec", {"tile": tile, "steps": steps, "pgrid": pgrid}),
+    ):
+        result = run(problem, impl=impl, machine=machine, backend="threads",
+                     jobs=jobs, **kwargs)
+        assert np.array_equal(result.grid, ref), (
+            f"{impl} mismatch: grid {nrows}x{ncols}, pgrid {pgrid}, "
+            f"tile {tile}, steps {steps}, T {iterations}, jobs {jobs}: "
+            f"max err {np.max(np.abs(result.grid - ref)):.3e}"
+        )
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(6, 20), st.integers(1, 6), st.integers(0, 2**16),
+       st.sampled_from(JOBS))
+def test_threads_backend_petsc_matches_reference(n, iterations, seed, jobs):
+    """PETSc agrees to FP association (CSR accumulation order), same
+    tolerance contract as the simulated backend."""
+    problem = random_problem(n=n, iterations=iterations, seed=seed)
+    result = run(problem, impl="petsc", machine=nacl(2), backend="threads",
+                 jobs=jobs)
+    ref = problem.reference_solution()
+    scale = max(1.0, float(np.max(np.abs(ref))))
+    assert np.max(np.abs(result.grid - ref)) <= 1e-12 * scale
+
+
+@pytest.mark.parametrize("jobs", JOBS)
+@pytest.mark.parametrize("impl,kwargs", [
+    ("petsc", {}),
+    ("base-parsec", {"tile": 8}),
+    ("ca-parsec", {"tile": 8, "steps": 3}),
+])
+def test_all_implementations_all_job_counts(impl, kwargs, jobs):
+    """The acceptance matrix, deterministically: every implementation
+    at jobs in {1, 2, 4}, steps=3 not dividing T=8."""
+    problem = random_problem(n=24, iterations=8, seed=7)
+    result = run(problem, impl=impl, machine=nacl(4), backend="threads",
+                 jobs=jobs, **kwargs)
+    ref = problem.reference_solution()
+    if impl == "petsc":
+        scale = max(1.0, float(np.max(np.abs(ref))))
+        assert np.max(np.abs(result.grid - ref)) <= 1e-12 * scale
+    else:
+        assert np.array_equal(result.grid, ref)
+    assert result.params["backend"] == "threads"
+    assert result.params["jobs"] == jobs
+
+
+@pytest.mark.parametrize("policy", ["fifo", "lifo", "priority"])
+def test_threads_result_independent_of_policy(policy):
+    """Any legal schedule produces the same bits (dataflow semantics
+    survive real concurrency)."""
+    problem = random_problem(n=20, iterations=6, seed=3)
+    result = run(problem, impl="ca-parsec", machine=nacl(4), tile=5, steps=2,
+                 backend="threads", jobs=4, policy=policy)
+    assert np.array_equal(result.grid, problem.reference_solution())
+
+
+def test_determinism_across_runs():
+    """Two identical threads-backend runs: identical grids (bitwise)
+    and identical task-completion *sets* -- schedules may differ, the
+    set of executed tasks may not.  Guards against data races in the
+    tile ghost exchange."""
+    problem = random_problem(n=24, iterations=7, seed=11)
+    results = []
+    for _ in range(2):
+        res = run(problem, impl="ca-parsec", machine=nacl(4), tile=6, steps=3,
+                  backend="threads", jobs=4)
+        results.append(res)
+    a, b = results
+    assert np.array_equal(a.grid, b.grid)
+    assert a.grid.tobytes() == b.grid.tobytes()  # bitwise, not just value
+    assert a.engine.completed == b.engine.completed
+    assert len(a.engine.completed) == a.engine.tasks_run
+
+
+def test_determinism_base_vs_jobs():
+    """Worker count never changes the numerics, only the wall clock."""
+    problem = random_problem(n=20, iterations=5, seed=13)
+    grids = [
+        run(problem, impl="base-parsec", machine=nacl(1), tile=5,
+            backend="threads", jobs=jobs).grid.tobytes()
+        for jobs in JOBS
+    ]
+    assert len(set(grids)) == 1
+
+
+def test_threads_run_result_plumbs_through():
+    """RunResult wall-clock accessors behave on a threads run."""
+    problem = JacobiProblem(n=24, iterations=4)
+    result = run(problem, impl="base-parsec", machine=nacl(1), tile=6,
+                 backend="threads", jobs=2, trace=True)
+    assert result.backend == "threads"
+    assert result.elapsed > 0
+    assert result.gflops > 0
+    assert 0 < result.occupancy() <= 1
+    assert result.messages == 0  # shared memory: nothing crossed a wire
+    assert result.trace is not None and len(result.trace) == len(
+        result.engine.completed
+    )
+    assert "threads" in result.summary() or "worker threads" in result.summary()
+    d = result.to_dict()
+    assert d["backend"] == "threads" and d["jobs"] == 2

@@ -56,9 +56,6 @@ def test_fig9_rows_grid():
     points = [
         fig9_stepsize.StepPoint(16, 0.2, s, float(s)) for s in (5, 15, 25, 40)
     ]
-    rows = [
-        (16, 0.2, *[p.gflops for p in points])
-    ]
     # optimal_step picks the max gflops entry.
     opt = fig9_stepsize.optimal_step(points, nodes=16, ratio=0.2)
     assert opt.steps == 40

@@ -21,7 +21,6 @@ def partitions(draw):
 @given(partitions())
 def test_tiles_tile_the_grid(p):
     total = 0
-    prev_rows = None
     for (i, j) in p.tiles():
         r0, r1 = p.tile_rows(i)
         c0, c1 = p.tile_cols(j)

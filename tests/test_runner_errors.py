@@ -1,0 +1,81 @@
+"""The runner's front-door argument validation: every selector typo
+must fail fast with the list of choices, before any graph is built."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runner import BACKENDS, IMPLEMENTATIONS, MODES, run
+from repro.machine.machine import nacl
+from repro.stencil.problem import JacobiProblem
+
+PROBLEM = JacobiProblem(n=16, iterations=2)
+
+
+def test_unknown_impl_lists_choices():
+    with pytest.raises(ValueError) as err:
+        run(PROBLEM, impl="parsec")  # plausible typo
+    msg = str(err.value)
+    assert "parsec" in msg
+    for impl in IMPLEMENTATIONS:
+        assert impl in msg
+
+
+def test_unknown_mode_lists_choices():
+    with pytest.raises(ValueError) as err:
+        run(PROBLEM, impl="base-parsec", mode="exec")
+    msg = str(err.value)
+    assert "exec" in msg
+    for mode in MODES:
+        assert mode in msg
+
+
+def test_unknown_policy_lists_choices():
+    with pytest.raises(ValueError) as err:
+        run(PROBLEM, impl="base-parsec", policy="random")
+    msg = str(err.value)
+    assert "random" in msg
+    for policy in ("fifo", "lifo", "priority"):
+        assert policy in msg
+
+
+def test_unknown_backend_lists_choices():
+    with pytest.raises(ValueError) as err:
+        run(PROBLEM, impl="base-parsec", backend="processes")
+    msg = str(err.value)
+    assert "processes" in msg
+    for backend in BACKENDS:
+        assert backend in msg
+
+
+@pytest.mark.parametrize("jobs", [0, -3])
+def test_nonpositive_jobs_rejected(jobs):
+    with pytest.raises(ValueError, match="jobs"):
+        run(PROBLEM, impl="base-parsec", backend="threads", jobs=jobs)
+
+
+def test_validation_happens_before_graph_construction(monkeypatch):
+    """A bad policy must not reach the (expensive) graph builders."""
+    import repro.core.runner as runner_mod
+
+    def explode(*args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("graph construction reached with bad args")
+
+    monkeypatch.setattr(runner_mod, "build_base_graph", explode)
+    monkeypatch.setattr(runner_mod, "build_ca_graph", explode)
+    monkeypatch.setattr(runner_mod, "build_petsc_graph", explode)
+    for bad in (
+        {"impl": "nope"},
+        {"impl": "base-parsec", "mode": "nope"},
+        {"impl": "base-parsec", "policy": "nope"},
+        {"impl": "base-parsec", "backend": "nope"},
+        {"impl": "base-parsec", "backend": "threads", "jobs": 0},
+    ):
+        with pytest.raises(ValueError):
+            run(PROBLEM, machine=nacl(4), **bad)
+
+
+def test_valid_arguments_still_run():
+    result = run(PROBLEM, impl="base-parsec", machine=nacl(1), tile=8,
+                 policy="fifo", mode="simulate")
+    assert result.elapsed > 0
