@@ -43,10 +43,15 @@ def _add_run_parser(sub: argparse._SubParsersAction) -> None:
                    help="run real kernels and check against the reference")
     p.add_argument("--backend", choices=BACKENDS, default="sim",
                    help="'sim' = discrete-event model (virtual clock), "
-                        "'threads' = real parallel execution on this host")
+                        "'threads' = real parallel execution on this host, "
+                        "'processes' = one OS process per node with real "
+                        "IPC halo messages")
     p.add_argument("--jobs", type=int, default=None,
-                   help="worker threads for --backend threads "
-                        "(default: all cores)")
+                   help="worker threads for --backend threads/processes "
+                        "(default: all cores, split over the processes)")
+    p.add_argument("--procs", type=int, default=None,
+                   help="node processes for --backend processes "
+                        "(default: the machine's node count)")
     p.add_argument("--trace-out", default=None, metavar="FILE.json",
                    help="write a Chrome trace-event file")
 
@@ -63,6 +68,11 @@ def _add_compare_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--steps", type=int, default=4, help="CA step size")
     p.add_argument("--jobs", type=int, default=None,
                    help="worker threads for the measured runs")
+    p.add_argument("--backend", choices=("threads", "processes"),
+                   default="threads",
+                   help="which real backend supplies the measured side")
+    p.add_argument("--procs", type=int, default=None,
+                   help="node processes for --backend processes")
     p.add_argument("--curve", action="store_true",
                    help="also measure a speedup curve over 1/2/4 workers")
 
@@ -111,6 +121,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         trace=args.trace_out is not None,
         backend=args.backend,
         jobs=args.jobs,
+        procs=args.procs,
     )
     print(result.summary())
     if args.execute:
@@ -140,7 +151,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     problem = JacobiProblem(n=args.n, iterations=args.iterations)
     if args.impl == "all":
         comparisons = compare_all(
-            problem, jobs=args.jobs, tile=args.tile, steps=args.steps
+            problem, jobs=args.jobs, tile=args.tile, steps=args.steps,
+            backend=args.backend, procs=args.procs,
         )
     else:
         kwargs = {}
@@ -149,10 +161,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         if args.impl == "ca-parsec":
             kwargs["steps"] = args.steps
         comparisons = [
-            compare_backends(problem, impl=args.impl, jobs=args.jobs, **kwargs)
+            compare_backends(problem, impl=args.impl, jobs=args.jobs,
+                             backend=args.backend, procs=args.procs, **kwargs)
         ]
     title = (
-        f"model (virtual clock) vs measured (wall clock), "
+        f"model (virtual clock) vs measured (wall clock, "
+        f"{comparisons[0].backend} backend), "
         f"{problem.shape[0]}^2 x {problem.iterations} iterations, "
         f"{comparisons[0].jobs} worker threads"
     )

@@ -71,9 +71,10 @@ class RunResult:
 
     def occupancy(self) -> float:
         """Mean compute-worker occupancy across nodes (Fig. 10's
-        comparison metric).  For a threads-backend run this is the
-        measured busy fraction of the real worker threads."""
-        if self.backend == "threads":
+        comparison metric).  For a threads- or processes-backend run
+        this is the measured busy fraction of the real worker threads
+        (averaged over every node process for ``processes``)."""
+        if self.backend in ("threads", "processes"):
             return self.engine.occupancy(self.params["jobs"])
         workers = (
             self.machine.node.compute_cores
@@ -110,6 +111,14 @@ class RunResult:
             return (
                 f"{self.impl} on {self.params['jobs']} worker threads ({p}): "
                 f"{self.elapsed * 1e3:.2f} ms wall, {self.gflops:.2f} GFLOP/s, "
+                f"occupancy {self.occupancy():.2f}"
+            )
+        if self.backend == "processes":
+            return (
+                f"{self.impl} on {self.params['procs']} processes x "
+                f"{self.params['jobs']} threads ({p}): "
+                f"{self.elapsed * 1e3:.2f} ms wall, {self.gflops:.2f} GFLOP/s, "
+                f"{self.messages} real msgs / {self.message_bytes / 1e6:.2f} MB, "
                 f"occupancy {self.occupancy():.2f}"
             )
         return (

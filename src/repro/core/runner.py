@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from ..exec.backends import BACKENDS
 from ..machine.machine import MachineSpec, nacl
 from ..petsclite.cost import SpMVCostModel
 from ..runtime.engine import Engine
@@ -38,7 +39,6 @@ from .report import RunResult
 
 IMPLEMENTATIONS = ("petsc", "base-parsec", "ca-parsec")
 MODES = ("simulate", "execute")
-BACKENDS = ("sim", "threads")
 
 
 def default_tile(problem: JacobiProblem, machine: MachineSpec) -> int:
@@ -68,6 +68,7 @@ def run(
     pgrid=None,
     backend: str = "sim",
     jobs: int | None = None,
+    procs: int | None = None,
 ) -> RunResult:
     """Run ``problem`` with one implementation on one machine model.
 
@@ -78,6 +79,11 @@ def run(
     blocking worker-side MPI for PETSc.  ``backend="threads"`` executes
     the graph for real on ``jobs`` worker threads (defaults to every
     core of this host) and reports wall-clock performance.
+    ``backend="processes"`` runs each simulated node as a real OS
+    process (``procs`` of them, defaulting to ``machine.nodes``, each
+    with ``jobs`` worker threads) and exchanges node-boundary halos as
+    real pickled messages over pipes; passing ``procs`` resizes the
+    machine so the process count *is* the node count.
 
     All selector strings are validated here, before any graph is
     built, so a typo fails with the list of choices instead of a
@@ -96,7 +102,17 @@ def run(
         )
     if jobs is not None and jobs < 1:
         raise ValueError(f"jobs must be a positive worker count, got {jobs}")
-    with_kernels = mode == "execute" or backend == "threads"
+    if procs is not None:
+        if backend != "processes":
+            raise ValueError(
+                "procs selects the node-process count of backend='processes'; "
+                f"it does not apply to backend={backend!r}"
+            )
+        if procs < 1:
+            raise ValueError(f"procs must be a positive process count, got {procs}")
+        if procs != machine.nodes:
+            machine = machine.with_nodes(procs)
+    with_kernels = mode == "execute" or backend in ("threads", "processes")
 
     params: dict[str, Any] = {"mode": mode, "policy": policy}
     if impl == "petsc":
@@ -146,6 +162,24 @@ def run(
         )
         report = executor.run()
         params.update(backend="threads", jobs=executor.jobs)
+        grid = built.assemble_grid(report.results)
+        return RunResult(
+            impl=impl,
+            problem=problem,
+            machine=machine,
+            engine=report,
+            params=params,
+            grid=grid,
+        )
+
+    if backend == "processes":
+        from ..exec.procs import ProcessExecutor
+
+        executor = ProcessExecutor(
+            built.graph, procs=machine.nodes, jobs=jobs, policy=policy, trace=trace
+        )
+        report = executor.run()
+        params.update(backend="processes", procs=executor.procs, jobs=executor.jobs)
         grid = built.assemble_grid(report.results)
         return RunResult(
             impl=impl,

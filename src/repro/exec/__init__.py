@@ -1,21 +1,32 @@
-"""repro.exec -- real shared-memory parallel execution of task graphs.
+"""repro.exec -- real parallel execution of task graphs.
 
 Where :mod:`repro.runtime.engine` *simulates* a distributed machine on
 a virtual clock, this package *executes* the same task graphs on the
-actual host: a pool of worker threads with per-worker queues and work
-stealing runs the numpy kernels (which release the GIL) concurrently,
-records wall-clock traces in the existing trace schema, and reports
+actual host, at two levels of realism:
+
+* ``backend="threads"`` -- one shared-memory work-stealing thread pool
+  runs the numpy kernels (which release the GIL) concurrently;
+  communication is free, as within one cluster node;
+* ``backend="processes"`` -- one OS process per simulated node, each
+  running its own thread pool; node-boundary ghost exchanges are real
+  pickled messages over ``multiprocessing`` pipes, so the base-vs-CA
+  message-count gap is *measured*, not modelled.
+
+Both record wall-clock traces in the existing trace schema and report
 measured performance side by side with the simulator's predictions.
 
 Entry points
 ------------
-* :func:`repro.core.runner.run` with ``backend="threads", jobs=N`` --
-  the front door almost everyone wants;
-* :class:`ThreadedExecutor` / :func:`execute` -- run an arbitrary
+* :func:`repro.core.runner.run` with ``backend="threads", jobs=N`` or
+  ``backend="processes", procs=N`` -- the front door almost everyone
+  wants;
+* :class:`ThreadedExecutor` / :func:`execute` and
+  :class:`ProcessExecutor` / :func:`execute_procs` -- run an arbitrary
   finalized graph directly;
 * :mod:`repro.exec.compare` -- simulated-vs-measured reports.
 """
 
+from .backends import BACKEND_DESCRIPTIONS, BACKENDS, MEASURED_BACKENDS
 from .compare import (
     BackendComparison,
     SpeedupPoint,
@@ -24,21 +35,38 @@ from .compare import (
     format_comparison,
     speedup_curve,
 )
-from .executor import ExecReport, ThreadedExecutor, default_jobs, execute
+from .executor import (
+    ExecReport,
+    ThreadedExecutor,
+    default_jobs,
+    ensure_executable,
+    execute,
+    max_flow_bytes,
+)
 from .futures import ExecutionTimeout, RunCancelled, RunHandle, TaskFuture, TaskRecord
 from .policies import EXEC_POLICIES, make_work_queues
+from .procs import (
+    ProcessExecutor,
+    ProcsReport,
+    ProcsRunHandle,
+    default_procs,
+    execute_procs,
+    fork_available,
+)
 from .wallclock_trace import HOST_NODE, WallClockRecorder
-
-#: Backend names :func:`repro.core.runner.run` accepts.
-BACKENDS = ("sim", "threads")
 
 __all__ = [
     "BACKENDS",
+    "BACKEND_DESCRIPTIONS",
+    "MEASURED_BACKENDS",
     "BackendComparison",
     "EXEC_POLICIES",
     "ExecReport",
     "ExecutionTimeout",
     "HOST_NODE",
+    "ProcessExecutor",
+    "ProcsReport",
+    "ProcsRunHandle",
     "RunCancelled",
     "RunHandle",
     "SpeedupPoint",
@@ -49,8 +77,13 @@ __all__ = [
     "compare_all",
     "compare_backends",
     "default_jobs",
+    "default_procs",
+    "ensure_executable",
     "execute",
+    "execute_procs",
+    "fork_available",
     "format_comparison",
     "make_work_queues",
+    "max_flow_bytes",
     "speedup_curve",
 ]

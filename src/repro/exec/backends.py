@@ -1,0 +1,29 @@
+"""The single registry of execution backends.
+
+Both the runner (argument validation) and the CLI (choices listing)
+used to carry their own copy of the backend tuple; they now share this
+one, so adding a backend is a single edit here plus its executor.
+
+Keep this module dependency-free (no numpy, no sibling imports): the
+runner imports it during :mod:`repro.core` start-up and the CLI needs
+it before any heavy machinery loads.
+"""
+
+from __future__ import annotations
+
+#: Backend names :func:`repro.core.runner.run` accepts, with the
+#: one-line story the CLI help repeats.
+BACKEND_DESCRIPTIONS: dict[str, str] = {
+    "sim": "discrete-event model of a cluster (virtual clock), the default",
+    "threads": "real shared-memory execution on a work-stealing thread pool",
+    "processes": "one OS process per simulated node; node-boundary halos "
+                 "travel as real pickled messages over pipes",
+}
+
+BACKENDS: tuple[str, ...] = tuple(BACKEND_DESCRIPTIONS)
+
+#: Backends that measure wall-clock time on this host (everything but
+#: the simulator).
+MEASURED_BACKENDS: tuple[str, ...] = tuple(b for b in BACKENDS if b != "sim")
+
+__all__ = ["BACKENDS", "BACKEND_DESCRIPTIONS", "MEASURED_BACKENDS"]

@@ -32,8 +32,9 @@ class BackendComparison:
 
     impl: str
     sim: object  # RunResult (sim backend)
-    real: object  # RunResult (threads backend)
+    real: object  # RunResult (threads or processes backend)
     jobs: int
+    backend: str = "threads"
 
     @property
     def predicted_elapsed(self) -> float:
@@ -99,13 +100,20 @@ def compare_backends(
     machine: MachineSpec | None = None,
     jobs: int | None = None,
     policy: str = "priority",
+    backend: str = "threads",
+    procs: int | None = None,
     **kwargs,
 ) -> BackendComparison:
     """Run ``impl`` once on the simulator (execute mode, so the virtual
-    clock covers the identical graph) and once on real threads."""
+    clock covers the identical graph) and once for real on ``backend``
+    (``"threads"`` or ``"processes"``; ``procs`` selects the process
+    count of the latter and sizes the simulated machine to match)."""
     from ..core.runner import run  # local import: core depends on exec
 
-    machine = machine or nacl(1)
+    if machine is None:
+        machine = nacl(procs) if (backend == "processes" and procs) else nacl(1)
+    elif backend == "processes" and procs and procs != machine.nodes:
+        machine = machine.with_nodes(procs)
     sim = run(
         problem, impl=impl, machine=machine, mode="execute", policy=policy, **kwargs
     )
@@ -113,12 +121,14 @@ def compare_backends(
         problem,
         impl=impl,
         machine=machine,
-        backend="threads",
+        backend=backend,
         jobs=jobs,
         policy=policy,
         **kwargs,
     )
-    return BackendComparison(impl=impl, sim=sim, real=real, jobs=real.params["jobs"])
+    return BackendComparison(
+        impl=impl, sim=sim, real=real, jobs=real.params["jobs"], backend=backend
+    )
 
 
 def compare_all(
@@ -127,6 +137,8 @@ def compare_all(
     jobs: int | None = None,
     tile: int | None = None,
     steps: int = 4,
+    backend: str = "threads",
+    procs: int | None = None,
 ) -> list[BackendComparison]:
     """The full three-implementation side-by-side."""
     out = []
@@ -135,7 +147,8 @@ def compare_all(
         ("base-parsec", {"tile": tile}),
         ("ca-parsec", {"tile": tile, "steps": steps}),
     ):
-        out.append(compare_backends(problem, impl=impl, machine=machine, jobs=jobs, **kw))
+        out.append(compare_backends(problem, impl=impl, machine=machine, jobs=jobs,
+                                    backend=backend, procs=procs, **kw))
     return out
 
 

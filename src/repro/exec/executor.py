@@ -47,6 +47,32 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
+def max_flow_bytes(graph: TaskGraph, producer: TaskKey, tag: str) -> int:
+    """Largest payload size any consumer declared for (producer, tag)."""
+    biggest = 0
+    for consumer_key in graph.consumers.get((producer, tag), ()):
+        for flow in graph[consumer_key].inputs:
+            if flow.producer == producer and flow.tag == tag:
+                biggest = max(biggest, flow.nbytes)
+    return biggest
+
+
+def ensure_executable(graph: TaskGraph, backend: str = "threads") -> None:
+    """Refuse timing-only graphs up front: a task without a kernel can
+    satisfy control edges only (zero-byte flows).  Shared by every
+    real-execution backend (threads and processes)."""
+    for task in graph:
+        if task.kernel is not None:
+            continue
+        for tag in graph.out_tags.get(task.key, ()):
+            if task.out_nbytes.get(tag, 0) or max_flow_bytes(graph, task.key, tag):
+                raise ValueError(
+                    f"task {task.key!r} has no kernel but consumers expect "
+                    f"payload {tag!r}; the {backend} backend needs a graph "
+                    "built with with_kernels=True (runner mode 'execute')"
+                )
+
+
 @dataclass
 class ExecReport(EngineReport):
     """An :class:`EngineReport` whose times are wall-clock seconds.
@@ -136,26 +162,10 @@ class ThreadedExecutor:
     # -- validation -----------------------------------------------------
 
     def _check_executable(self) -> None:
-        """Refuse timing-only graphs up front: a task without a kernel
-        can satisfy control edges only (zero-byte flows)."""
-        for task in self.graph:
-            if task.kernel is not None:
-                continue
-            for tag in self.graph.out_tags.get(task.key, ()):
-                if task.out_nbytes.get(tag, 0) or self._max_flow_bytes(task.key, tag):
-                    raise ValueError(
-                        f"task {task.key!r} has no kernel but consumers expect "
-                        f"payload {tag!r}; the threads backend needs a graph "
-                        "built with with_kernels=True (runner mode 'execute')"
-                    )
+        ensure_executable(self.graph, backend="threads")
 
     def _max_flow_bytes(self, producer: TaskKey, tag: str) -> int:
-        biggest = 0
-        for consumer_key in self.graph.consumers.get((producer, tag), ()):
-            for flow in self.graph[consumer_key].inputs:
-                if flow.producer == producer and flow.tag == tag:
-                    biggest = max(biggest, flow.nbytes)
-        return biggest
+        return max_flow_bytes(self.graph, producer, tag)
 
     # -- setup -----------------------------------------------------------
 
@@ -390,4 +400,11 @@ def execute(
     return ThreadedExecutor(graph, jobs=jobs, policy=policy, trace=trace).run(timeout)
 
 
-__all__ = ["ExecReport", "ThreadedExecutor", "default_jobs", "execute"]
+__all__ = [
+    "ExecReport",
+    "ThreadedExecutor",
+    "default_jobs",
+    "ensure_executable",
+    "execute",
+    "max_flow_bytes",
+]

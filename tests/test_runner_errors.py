@@ -41,11 +41,24 @@ def test_unknown_policy_lists_choices():
 
 def test_unknown_backend_lists_choices():
     with pytest.raises(ValueError) as err:
-        run(PROBLEM, impl="base-parsec", backend="processes")
+        run(PROBLEM, impl="base-parsec", backend="mpi")  # plausible typo
     msg = str(err.value)
-    assert "processes" in msg
+    assert "mpi" in msg
     for backend in BACKENDS:
         assert backend in msg
+
+
+@pytest.mark.parametrize("procs", [0, -2])
+def test_nonpositive_procs_rejected(procs):
+    with pytest.raises(ValueError, match="procs"):
+        run(PROBLEM, impl="base-parsec", backend="processes", procs=procs)
+
+
+def test_procs_requires_processes_backend():
+    with pytest.raises(ValueError, match="backend='processes'"):
+        run(PROBLEM, impl="base-parsec", backend="threads", procs=2)
+    with pytest.raises(ValueError, match="backend='processes'"):
+        run(PROBLEM, impl="base-parsec", procs=2)  # sim backend
 
 
 @pytest.mark.parametrize("jobs", [0, -3])
@@ -70,6 +83,8 @@ def test_validation_happens_before_graph_construction(monkeypatch):
         {"impl": "base-parsec", "policy": "nope"},
         {"impl": "base-parsec", "backend": "nope"},
         {"impl": "base-parsec", "backend": "threads", "jobs": 0},
+        {"impl": "base-parsec", "backend": "processes", "procs": 0},
+        {"impl": "base-parsec", "backend": "threads", "procs": 2},
     ):
         with pytest.raises(ValueError):
             run(PROBLEM, machine=nacl(4), **bad)
