@@ -1,0 +1,110 @@
+"""The autotuner recovers the paper's hand-picked operating points.
+
+Fig. 6 fixed the tile size per machine (200-300 on NaCL, 400-2000 on
+Stampede2) by exhaustive single-node sweeps; Fig. 9 argued the CA step
+size "needs to be tuned".  These benches hand :func:`repro.tuning.tune`
+the same problems *without* those answers and check it finds them
+within its run budget -- the subsystem's whole reason to exist.
+
+Each test appends its outcome to ``BENCH_tuning.json`` at the repo
+root so the tuning-performance trajectory accumulates across commits.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.runner import run
+from repro.experiments import NACL, STAMPEDE2, fig6_tilesize
+from repro.experiments.common import STEP_SIZES, full_mode
+from repro.tuning import SearchSpace, format_tuning_report, tune
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RECORD_PATH = REPO_ROOT / "BENCH_tuning.json"
+
+
+def _emit(key: str, record: dict) -> None:
+    try:
+        doc = json.loads(RECORD_PATH.read_text())
+    except (OSError, ValueError):
+        doc = {}
+    record["unix_time"] = round(time.time(), 3)
+    doc[key] = record
+    RECORD_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def _recover_fig6(setup, once, show, budget=24):
+    problem = setup.tuning_problem()
+    machine = setup.machine(1)
+    # The tuner gets the same tile axis the paper swept in Fig. 6 --
+    # but not which of them wins.
+    tiles = (fig6_tilesize.FULL_TILES if full_mode()
+             else fig6_tilesize.SCALED_TILES)[setup.name]
+    space = SearchSpace(tiles=tiles, require_divisible=False)
+    result = once(
+        tune, problem, impl="base-parsec", machine=machine,
+        budget=budget, space=space, cache=False,
+    )
+    show(format_tuning_report(result))
+    lo, hi = fig6_tilesize.PAPER_OPTIMUM[setup.name]
+    assert lo <= result.winner.tile <= hi, (
+        f"tuned tile {result.winner.tile} outside the paper's "
+        f"{setup.name} optimum range {lo}-{hi}"
+    )
+    assert result.runs_used <= budget
+    _emit(f"fig6_{setup.name.lower()}", {
+        "problem_n": problem.shape[0],
+        "budget": budget,
+        "runs_used": result.runs_used,
+        "winner_tile": result.winner.tile,
+        "winner_gflops": result.winner_gflops,
+        "paper_range": [lo, hi],
+    })
+
+
+def test_tuner_recovers_fig6_optimum_nacl(once, show):
+    _recover_fig6(NACL, once, show)
+
+
+def test_tuner_recovers_fig6_optimum_stampede2(once, show):
+    _recover_fig6(STAMPEDE2, once, show)
+
+
+def test_tuner_recovers_fig9_step_behaviour(once, show):
+    """Pin the tile to the paper's (288 on NaCL, 16 nodes, comm-heavy
+    ratio 0.2) and let the tuner search only the step axis; its winner
+    must perform within 2% of the exhaustive Fig. 9 sweep's argmax."""
+    setup = NACL
+    ratio = 0.2
+    problem = setup.problem()
+    machine = setup.machine(16)
+    reference = {
+        s: run(problem, impl="ca-parsec", machine=machine,
+               tile=setup.tile, steps=s, ratio=ratio).gflops
+        for s in STEP_SIZES
+    }
+    space = SearchSpace(tiles=(setup.tile,), steps=STEP_SIZES)
+    result = once(
+        tune, problem, impl="ca-parsec", machine=machine, budget=12,
+        space=space, run_kwargs={"ratio": ratio}, cache=False,
+    )
+    show(format_tuning_report(result))
+    best_s = max(reference, key=reference.get)
+    show(f"exhaustive Fig. 9 sweep: best s={best_s} "
+         f"({reference[best_s]:.2f} GFLOP/s); "
+         f"tuner picked s={result.winner.steps}")
+    assert result.winner.steps in STEP_SIZES
+    assert reference[result.winner.steps] >= 0.98 * reference[best_s], (
+        f"tuned s={result.winner.steps} "
+        f"({reference[result.winner.steps]:.2f} GFLOP/s) is more than 2% "
+        f"below the exhaustive optimum s={best_s} "
+        f"({reference[best_s]:.2f} GFLOP/s)"
+    )
+    _emit("fig9_nacl_16n_r02", {
+        "budget": 12,
+        "runs_used": result.runs_used,
+        "winner_steps": result.winner.steps,
+        "winner_gflops": result.winner_gflops,
+        "exhaustive_best_steps": best_s,
+        "exhaustive_best_gflops": reference[best_s],
+    })

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Autotuning instead of hand-picking tile and step sizes.
+
+The paper fixes its operating points by exhaustive sweeps (Fig. 6 for
+the tile, Fig. 9 for the CA step).  ``repro.tune`` automates that
+search: the analytic machine model ranks every legal configuration for
+free, successive halving spends a small run budget refining the
+shortlist, and the winner is cached per machine fingerprint so
+follow-up runs (and ``run(..., tile="auto")``) answer instantly.
+
+This example tunes a small problem, shows the leaderboard, then lets
+``tile="auto"`` consume the cached winner end-to-end.
+"""
+
+import tempfile
+from pathlib import Path
+
+import repro
+from repro.tuning import TuningCache, format_tuning_report
+
+
+def main() -> None:
+    problem = repro.JacobiProblem(n=1152, iterations=8)
+    machine = repro.nacl(4)
+    cache = TuningCache(Path(tempfile.mkdtemp()) / "tuning.json")
+
+    result = repro.tune(problem, impl="ca-parsec", machine=machine,
+                        budget=12, cache=cache)
+    print(format_tuning_report(result))
+
+    # A second tune is a pure cache hit: zero runs.
+    warm = repro.tune(problem, impl="ca-parsec", machine=machine,
+                      budget=12, cache=cache)
+    print(f"\nwarm retune: source={warm.source}, "
+          f"runs used={warm.runs_used}")
+
+    # And the runner consumes the same entry through tile="auto".
+    res = repro.run(problem, impl="ca-parsec", machine=machine,
+                    tile="auto", steps="auto", tune_cache=cache)
+    print(f"run(tile='auto'): picked tile={res.params['tile']} "
+          f"steps={res.params['steps']} from the "
+          f"{res.params['tune_source']} -> {res.gflops:.2f} GFLOP/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -39,11 +39,13 @@ from .core import (
 )
 from .exec import ThreadedExecutor
 from .runtime import Engine, TaskGraph, Trace
+from .tuning import Candidate, SearchSpace, TuningCache, TuningResult, tune
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BACKENDS",
+    "Candidate",
     "DirichletBC",
     "Engine",
     "ThreadedExecutor",
@@ -53,15 +55,19 @@ __all__ = [
     "NetworkSpec",
     "NodeSpec",
     "RunResult",
+    "SearchSpace",
     "StencilSpec",
     "StencilWeights",
     "TaskGraph",
     "Trace",
+    "TuningCache",
+    "TuningResult",
     "nacl",
     "preset",
     "run",
     "stampede2",
     "summit_like",
+    "tune",
     "validate_implementations",
     "__version__",
 ]

@@ -8,6 +8,11 @@ Gives the library's main entry points a shell-friendly face:
   executes the graph for real on this host's cores;
 * ``compare`` -- simulated-vs-measured side-by-side plus a measured
   speedup curve over worker counts;
+* ``tune`` -- model-guided autotuning of tile size, CA step size and
+  scheduling policy (successive halving under a run budget, winners
+  cached per machine fingerprint; see ``docs/tuning-guide.md``);
+* ``sweep`` -- a general cartesian sweep over runner parameters with
+  CSV/JSON export (the shell face of ``repro.experiments.sweeper``);
 * ``experiment`` -- regenerate one of the paper's tables/figures by
   registry id (``table1``, ``fig5`` ... ``headlines``);
 * ``validate`` -- the cross-implementation equivalence check;
@@ -22,6 +27,7 @@ import sys
 from .analysis.tables import format_table
 from .core.runner import BACKENDS, IMPLEMENTATIONS, run
 from .core.validate import validate_implementations
+from .experiments.sweeper import RUN_AXES as SWEEP_AXES
 from .machine.machine import PRESETS, preset
 from .stencil.problem import JacobiProblem
 
@@ -77,6 +83,63 @@ def _add_compare_parser(sub: argparse._SubParsersAction) -> None:
                    help="also measure a speedup curve over 1/2/4 workers")
 
 
+def _add_tune_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "tune",
+        help="autotune tile/step/policy (model shortlist + successive halving)",
+    )
+    p.add_argument("--impl", choices=("base-parsec", "ca-parsec"),
+                   default="ca-parsec")
+    p.add_argument("--machine", default="nacl", help="machine preset name")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--n", type=int, default=4608, help="grid edge length")
+    p.add_argument("--iterations", type=int, default=8)
+    p.add_argument("--budget", type=int, default=24,
+                   help="maximum number of tuning runs (model ranking is free)")
+    p.add_argument("--backend", choices=BACKENDS, default="sim",
+                   help="backend that refines the shortlist (sim = "
+                        "discrete-event model; threads/processes measure "
+                        "the finalists on this host)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker threads for measured refinement runs")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-candidate seconds for measured runs")
+    p.add_argument("--seed", type=int, default=0,
+                   help="exploration seed (same seed + budget => same winner)")
+    p.add_argument("--cache-path", default=None, metavar="FILE.json",
+                   help="tuning cache location (default "
+                        "$REPRO_TUNING_CACHE or ~/.cache/repro/tuning.json)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="neither consult nor write the cache")
+    p.add_argument("--force", action="store_true",
+                   help="re-tune even when the cache already has a winner")
+    p.add_argument("--wide", action="store_true",
+                   help="also search policy/overlap/boundary-priority axes")
+    p.add_argument("--csv-out", default=None, metavar="FILE.csv",
+                   help="write the per-trial records as CSV")
+
+
+def _add_sweep_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "sweep",
+        help="cartesian sweep over runner parameters (CSV/JSON export)",
+    )
+    p.add_argument("--machine", action="append", default=None,
+                   help="machine preset, repeatable (default: nacl)")
+    p.add_argument("--nodes", action="append", type=int, default=None,
+                   help="node count, repeatable (default: 4)")
+    p.add_argument("--n", type=int, default=1152, help="grid edge length")
+    p.add_argument("--iterations", type=int, default=6)
+    p.add_argument("--axis", action="append", default=[],
+                   metavar="KEY=V1,V2,...",
+                   help="sweep axis, repeatable; keys: "
+                        f"{', '.join(SWEEP_AXES)}")
+    p.add_argument("--seed", type=int, default=None,
+                   help="shuffle evaluation order reproducibly")
+    p.add_argument("--csv-out", default=None, metavar="FILE.csv")
+    p.add_argument("--json-out", default=None, metavar="FILE.json")
+
+
 def _add_experiment_parser(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("id", help="experiment id (use 'list' to enumerate)")
@@ -100,6 +163,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     _add_run_parser(sub)
     _add_compare_parser(sub)
+    _add_tune_parser(sub)
+    _add_sweep_parser(sub)
     _add_experiment_parser(sub)
     _add_validate_parser(sub)
     sub.add_parser("machines", help="list machine presets")
@@ -183,6 +248,93 @@ def _cmd_compare(args: argparse.Namespace) -> int:
               f"{100 * p.efficiency:.0f}%") for p in points],
             title=f"measured strong scaling ({impl})",
         ))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from .tuning import TuningCache, format_tuning_report, tune
+    from .tuning.space import SearchSpace
+
+    machine = preset(args.machine, nodes=args.nodes)
+    problem = JacobiProblem(n=args.n, iterations=args.iterations)
+    if args.no_cache:
+        cache = False
+    elif args.cache_path is not None:
+        cache = TuningCache(args.cache_path)
+    else:
+        cache = None  # tune() resolves the default location
+    space = None
+    if args.wide:
+        space = SearchSpace.for_problem(
+            problem, machine, impl=args.impl, wide=True
+        )
+    result = tune(
+        problem,
+        impl=args.impl,
+        machine=machine,
+        backend=args.backend,
+        budget=args.budget,
+        space=space,
+        cache=cache,
+        seed=args.seed,
+        timeout=args.timeout,
+        jobs=args.jobs,
+        force=args.force,
+    )
+    print(format_tuning_report(result))
+    if args.csv_out:
+        result.to_csv(args.csv_out)
+        print(f"trial records written to {args.csv_out}")
+    return 0
+
+
+def _parse_sweep_axes(specs: list[str]) -> dict[str, list]:
+    from .analysis.csvio import _decode
+
+    axes: dict[str, list] = {}
+    for spec in specs:
+        key, sep, values = spec.partition("=")
+        key = key.strip()
+        if not sep or not values or key not in SWEEP_AXES:
+            raise SystemExit(
+                f"bad --axis {spec!r}: expected KEY=V1,V2,... with KEY in "
+                f"{SWEEP_AXES}"
+            )
+        axes[key] = [_decode(v.strip()) for v in values.split(",")]
+    return axes
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments.sweeper import Sweep, to_csv
+
+    axes = _parse_sweep_axes(args.axis)
+    if "impl" not in axes:
+        axes["impl"] = ["base-parsec"]
+    problem = JacobiProblem(n=args.n, iterations=args.iterations)
+    sweep = Sweep(problem=problem)
+    records = sweep.run(
+        machine=args.machine or ["nacl"],
+        nodes=args.nodes or [4],
+        seed=args.seed,
+        **axes,
+    )
+    swept = [k for k in ("machine_preset", "nodes", *SWEEP_AXES)
+             if any(k in r for r in records)]
+    rows = [
+        tuple(r.get(k, "") for k in swept) + (f"{r['gflops']:.2f}",)
+        for r in records
+    ]
+    print(format_table(tuple(swept) + ("gflops",), rows,
+                       title=f"{len(records)} configurations"))
+    if args.csv_out:
+        to_csv(records, args.csv_out)
+        print(f"records written to {args.csv_out}")
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w") as fh:
+            json.dump(records, fh, indent=2)
+        print(f"records written to {args.json_out}")
     return 0
 
 
@@ -274,6 +426,8 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "run": _cmd_run,
         "compare": _cmd_compare,
+        "tune": _cmd_tune,
+        "sweep": _cmd_sweep,
         "experiment": _cmd_experiment,
         "validate": _cmd_validate,
         "machines": _cmd_machines,

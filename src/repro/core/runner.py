@@ -56,8 +56,8 @@ def run(
     problem: JacobiProblem,
     impl: str = "base-parsec",
     machine: MachineSpec | None = None,
-    tile: int | None = None,
-    steps: int = 15,
+    tile: int | str | None = None,
+    steps: int | str = 15,
     ratio: float = 1.0,
     mode: str = "simulate",
     policy: str = "priority",
@@ -69,6 +69,11 @@ def run(
     backend: str = "sim",
     jobs: int | None = None,
     procs: int | None = None,
+    tune: bool = False,
+    tune_budget: int | None = None,
+    tune_backend: str | None = None,
+    tune_cache=None,
+    tune_seed: int = 0,
 ) -> RunResult:
     """Run ``problem`` with one implementation on one machine model.
 
@@ -85,6 +90,15 @@ def run(
     real pickled messages over pipes; passing ``procs`` resizes the
     machine so the process count *is* the node count.
 
+    ``tile="auto"`` / ``steps="auto"`` hand the knob to the autotuner
+    (:mod:`repro.tuning`): a cached winner for this (machine
+    fingerprint, problem, impl) is consumed directly; otherwise
+    ``tune=True`` spends ``tune_budget`` runs (default 16) on a
+    successive-halving search via ``tune_backend`` (default the
+    simulator), while without ``tune`` the resolution falls back to
+    the free model-only pick with a warning.  ``tune_cache`` is a
+    cache path/object, or ``False`` to disable persistence.
+
     All selector strings are validated here, before any graph is
     built, so a typo fails with the list of choices instead of a
     confusing error deep in graph construction.
@@ -100,6 +114,26 @@ def run(
         raise ValueError(
             f"unknown policy {policy!r}; choices: {tuple(sorted(POLICIES))}"
         )
+    if isinstance(tile, str) and tile != "auto":
+        raise ValueError(f"tile must be an int, None or 'auto', got {tile!r}")
+    if isinstance(steps, str) and steps != "auto":
+        raise ValueError(f"steps must be an int or 'auto', got {steps!r}")
+    tune_source = None
+    if tune or tile == "auto" or steps == "auto":
+        if impl == "petsc":
+            raise ValueError(
+                "autotuning applies to the PaRSEC implementations; "
+                "petsc has no tile/step knobs"
+            )
+        from ..tuning.search import resolve_auto
+
+        budget = tune_budget if tune_budget is not None else (16 if tune else 0)
+        tile, steps, tune_info = resolve_auto(
+            problem, impl=impl, machine=machine, tile=tile, steps=steps,
+            backend=tune_backend or "sim", budget=budget, cache=tune_cache,
+            seed=tune_seed, jobs=jobs,
+        )
+        tune_source = tune_info["source"]
     if jobs is not None and jobs < 1:
         raise ValueError(f"jobs must be a positive worker count, got {jobs}")
     if procs is not None:
@@ -115,6 +149,8 @@ def run(
     with_kernels = mode == "execute" or backend in ("threads", "processes")
 
     params: dict[str, Any] = {"mode": mode, "policy": policy}
+    if tune_source is not None:
+        params["tune_source"] = tune_source
     if impl == "petsc":
         if ratio != 1.0:
             raise ValueError("the kernel adjustment ratio applies to the "

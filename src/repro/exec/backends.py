@@ -26,4 +26,27 @@ BACKENDS: tuple[str, ...] = tuple(BACKEND_DESCRIPTIONS)
 #: the simulator).
 MEASURED_BACKENDS: tuple[str, ...] = tuple(b for b in BACKENDS if b != "sim")
 
-__all__ = ["BACKENDS", "BACKEND_DESCRIPTIONS", "MEASURED_BACKENDS"]
+
+def backend_available(name: str) -> bool:
+    """Whether ``name`` can actually execute on this host.
+
+    The simulator and the thread pool always can; the multiprocess
+    backend needs a fork-capable ``multiprocessing`` (absent on some
+    restricted platforms).  The autotuner consults this before
+    spending measured-refinement budget, falling back to a model-only
+    pick instead of crashing mid-session.
+    """
+    if name not in BACKENDS:
+        return False
+    if name == "processes":
+        try:
+            import multiprocessing
+
+            multiprocessing.get_context("fork")
+        except (ImportError, ValueError):
+            return False
+    return True
+
+
+__all__ = ["BACKENDS", "BACKEND_DESCRIPTIONS", "MEASURED_BACKENDS",
+           "backend_available"]

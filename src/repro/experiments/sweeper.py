@@ -20,9 +20,11 @@ Example
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from ..analysis import csvio
 from ..core.runner import run
 from ..machine.machine import MachineSpec, preset
 from ..stencil.problem import JacobiProblem
@@ -47,11 +49,37 @@ class Sweep:
     )
     on_result: Callable[[dict], None] | None = None
 
+    def run_configs(
+        self,
+        configs: Sequence[dict],
+        machine: MachineSpec,
+        mode: str = "simulate",
+        **common: Any,
+    ) -> list[dict]:
+        """Evaluate explicit configuration dicts, no cartesian expansion.
+
+        This is the single evaluation path shared by :meth:`run` and
+        the autotuner (:mod:`repro.tuning.search`): each config dict is
+        forwarded to :func:`repro.core.runner.run` on top of
+        ``common`` kwargs (backend, jobs, ...), and the records come
+        back in input order.
+        """
+        records = []
+        for config in configs:
+            result = run(self.problem, machine=machine, mode=mode,
+                         **common, **config)
+            record = result.to_dict()
+            records.append(record)
+            if self.on_result is not None:
+                self.on_result(record)
+        return records
+
     def run(
         self,
         machine: Sequence[str] = ("nacl",),
         nodes: Sequence[int] = (4,),
         mode: str = "simulate",
+        seed: int | None = None,
         **axes: Sequence[Any],
     ) -> list[dict]:
         """Cross every axis and run each configuration once.
@@ -59,7 +87,10 @@ class Sweep:
         ``axes`` values must be sequences; keys must be runner
         parameters (see :data:`RUN_AXES`).  Returns
         ``RunResult.to_dict()`` records, one per configuration, in
-        deterministic (itertools.product) order.
+        deterministic (itertools.product) order; a ``seed`` shuffles
+        the evaluation (and record) order reproducibly -- the same
+        seed always yields the same order, which is how time-boxed
+        studies sample the space fairly without losing replayability.
         """
         unknown = set(axes) - set(RUN_AXES)
         if unknown:
@@ -70,18 +101,38 @@ class Sweep:
             if isinstance(values, (str, bytes)) or not hasattr(values, "__iter__"):
                 raise TypeError(f"axis {key!r} must be a sequence, got {values!r}")
         names = list(axes)
+        configs = [
+            (machine_name, node_count, dict(zip(names, combo)))
+            for machine_name, node_count in itertools.product(machine, nodes)
+            for combo in itertools.product(*(axes[name] for name in names))
+        ]
+        if seed is not None:
+            random.Random(seed).shuffle(configs)
+        specs: dict[tuple[str, int], MachineSpec] = {}
         records = []
-        for machine_name, node_count in itertools.product(machine, nodes):
-            spec = self.machine_factory(machine_name, node_count)
-            for combo in itertools.product(*(axes[name] for name in names)):
-                kwargs = dict(zip(names, combo))
-                result = run(self.problem, machine=spec, mode=mode, **kwargs)
-                record = result.to_dict()
-                record["machine_preset"] = machine_name
-                records.append(record)
-                if self.on_result is not None:
-                    self.on_result(record)
+        for machine_name, node_count, kwargs in configs:
+            key = (machine_name, node_count)
+            if key not in specs:
+                specs[key] = self.machine_factory(machine_name, node_count)
+            record = self.run_configs([kwargs], machine=specs[key], mode=mode)[0]
+            record["machine_preset"] = machine_name
+            records.append(record)
         return records
+
+
+def to_csv(
+    records: Sequence[dict],
+    path: str | None = None,
+    fields: Sequence[str] | None = None,
+) -> str:
+    """One export path for sweep *and* tuning records: render the flat
+    dicts as CSV text (via :mod:`repro.analysis.csvio`) and optionally
+    write them to ``path``.  Returns the CSV text either way."""
+    text = csvio.dumps(records, fields)
+    if path is not None:
+        with open(path, "w", newline="") as fh:
+            fh.write(text)
+    return text
 
 
 def best(records: Sequence[dict], metric: str = "gflops") -> dict:

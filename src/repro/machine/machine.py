@@ -39,6 +39,19 @@ class MachineSpec:
         scaling sweeps)."""
         return replace(self, nodes=nodes)
 
+    def fingerprint(self) -> str:
+        """Short stable hash over *every* calibrated constant of this
+        spec (node, network, node count).  The tuning cache keys
+        entries by it, so editing any bandwidth, overhead or cache
+        size invalidates every dependent tuning result instead of
+        silently serving a stale optimum."""
+        import dataclasses
+        import hashlib
+        import json
+
+        blob = json.dumps(dataclasses.asdict(self), sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()[:12]
+
     def local_copy_time(self, nbytes: float) -> float:
         """Time to memcpy ``nbytes`` within a node (ghost exchange
         between two tiles on the same node).  A copy reads and writes

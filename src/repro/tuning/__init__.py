@@ -1,0 +1,45 @@
+"""repro.tuning -- model-guided autotuning of tile, step and policy.
+
+The paper fixes its operating points by hand (Fig. 6's tile sweep,
+Fig. 9's step study); this package turns that per-machine search into
+a reusable service:
+
+* :mod:`space`  -- the constrained search space (what may even run);
+* :mod:`model`  -- free analytic ranking from the roofline + NetPIPE
+  machine model;
+* :mod:`search` -- successive-halving refinement with real runs,
+  budgeted, contained, deterministic under a seed;
+* :mod:`cache`  -- best-known configs persisted per (machine
+  fingerprint, problem signature, backend, impl);
+* :mod:`report` -- leaderboards and predicted-vs-measured deltas.
+
+Entry points: ``tune(...)`` here, ``run(..., tile="auto")`` /
+``run(..., tune=True)`` in :mod:`repro.core.runner`, and the
+``python -m repro.cli tune`` subcommand.
+"""
+
+from .cache import TuningCache, cache_key, default_cache_path, problem_signature
+from .model import Prediction, predict, rank
+from .report import format_tuning_report, leaderboard_rows
+from .search import Trial, TuningResult, resolve_auto, tune
+from .space import Candidate, SearchSpace, block_extents, invalid_reason
+
+__all__ = [
+    "Candidate",
+    "Prediction",
+    "SearchSpace",
+    "Trial",
+    "TuningCache",
+    "TuningResult",
+    "block_extents",
+    "cache_key",
+    "default_cache_path",
+    "format_tuning_report",
+    "invalid_reason",
+    "leaderboard_rows",
+    "predict",
+    "problem_signature",
+    "rank",
+    "resolve_auto",
+    "tune",
+]

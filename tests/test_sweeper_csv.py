@@ -3,7 +3,8 @@
 import pytest
 
 from repro.analysis import csvio
-from repro.experiments.sweeper import Sweep, best, pivot
+from repro.experiments.sweeper import Sweep, best, pivot, to_csv
+from repro.machine.machine import nacl
 from repro.stencil.problem import JacobiProblem
 
 
@@ -62,6 +63,32 @@ def test_best_and_pivot():
     assert all(m[0] is not None for m in matrix)
     with pytest.raises(ValueError):
         best([])
+
+
+def test_sweep_seed_stable_ordering():
+    axes = dict(impl=["base-parsec"], tile=[48, 96, 144], nodes=(4,))
+    a = small_sweep(seed=11, **axes)
+    b = small_sweep(seed=11, **axes)
+    assert [r["tile"] for r in a] == [r["tile"] for r in b]
+    unshuffled = small_sweep(**axes)
+    assert [r["tile"] for r in unshuffled] == [48, 96, 144]  # product order
+
+
+def test_run_configs_preserves_input_order():
+    sweep = Sweep(problem=JacobiProblem(n=576, iterations=3))
+    configs = [{"impl": "base-parsec", "tile": t} for t in (144, 96, 48)]
+    records = sweep.run_configs(configs, machine=nacl(4))
+    assert [r["tile"] for r in records] == [144, 96, 48]
+
+
+def test_to_csv_shared_export(tmp_path):
+    records = small_sweep(impl=["base-parsec"], tile=[144], nodes=(4,))
+    path = tmp_path / "out.csv"
+    text = to_csv(records, str(path))
+    assert path.read_bytes().decode() == text
+    back = csvio.loads(text)
+    assert back[0]["impl"] == "base-parsec" and back[0]["tile"] == 144
+    assert to_csv(records) == text  # path is optional
 
 
 def test_csv_roundtrip(tmp_path):

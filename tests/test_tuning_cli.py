@@ -1,0 +1,84 @@
+"""The ``tune`` and ``sweep`` subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+TINY = ["--n", "96", "--nodes", "4", "--iterations", "4"]
+
+
+def test_tune_cold_then_warm(tmp_path, capsys):
+    cache = str(tmp_path / "tuning.json")
+    argv = ["tune", "--machine", "nacl", "--impl", "ca-parsec",
+            *TINY, "--budget", "6", "--cache-path", cache]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "source: search" in cold
+    assert "halving schedule" in cold
+    assert "best: tile=" in cold
+    # Warm: same command answers from the cache with zero runs.
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "source: cache -- 0 of 6 budgeted runs used" in warm
+
+
+def test_tune_no_cache_and_csv(tmp_path, capsys):
+    csv_path = tmp_path / "trials.csv"
+    rc = main(["tune", *TINY, "--budget", "4", "--no-cache",
+               "--csv-out", str(csv_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "source: search" in out
+    header = csv_path.read_text().splitlines()[0]
+    assert "tile" in header and "gflops" in header
+
+
+def test_tune_budget_zero_reports_model(capsys):
+    rc = main(["tune", *TINY, "--budget", "0", "--no-cache"])
+    assert rc == 0
+    assert "source: model" in capsys.readouterr().out
+
+
+def test_tune_wide_searches_policies(capsys):
+    rc = main(["tune", *TINY, "--budget", "4", "--no-cache", "--wide",
+               "--seed", "2"])
+    assert rc == 0
+    assert "best: tile=" in capsys.readouterr().out
+
+
+def test_sweep_table_and_exports(tmp_path, capsys):
+    csv_path = tmp_path / "sweep.csv"
+    json_path = tmp_path / "sweep.json"
+    rc = main(["sweep", "--n", "96", "--iterations", "3",
+               "--axis", "impl=base-parsec,ca-parsec",
+               "--axis", "tile=24,48",
+               "--csv-out", str(csv_path), "--json-out", str(json_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "4 configurations" in out and "gflops" in out
+    rows = csv_path.read_text().splitlines()
+    assert len(rows) == 5  # header + 4 records
+    records = json.loads(json_path.read_text())
+    assert len(records) == 4
+    assert {r["impl"] for r in records} == {"base-parsec", "ca-parsec"}
+
+
+def test_sweep_seed_shuffles_reproducibly(capsys):
+    argv = ["sweep", "--n", "96", "--iterations", "3",
+            "--axis", "impl=base-parsec", "--axis", "tile=12,24,48",
+            "--seed", "5"]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_sweep_rejects_bad_axis():
+    with pytest.raises(SystemExit):
+        main(["sweep", "--axis", "flavour=spicy"])
+    with pytest.raises(SystemExit):
+        main(["sweep", "--axis", "tile"])  # no '=' separator

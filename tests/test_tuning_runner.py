@@ -1,0 +1,93 @@
+"""``run(tile="auto")`` integration: cache consumption, budgeted
+search, and the graceful model-only fallback."""
+
+import warnings
+
+import pytest
+
+from repro.core.runner import run
+from repro.exec import backends
+from repro.machine.machine import nacl
+from repro.stencil.problem import JacobiProblem
+from repro.tuning import TuningCache, tune
+
+
+PROBLEM = JacobiProblem(n=96, iterations=4)
+MACHINE = nacl(4)
+
+
+def test_auto_budget_zero_warns_and_uses_model():
+    with pytest.warns(UserWarning, match="budget is 0"):
+        result = run(PROBLEM, impl="ca-parsec", machine=MACHINE,
+                     tile="auto", steps="auto", tune_cache=False)
+    assert result.params["tune_source"] == "model"
+    assert isinstance(result.params["tile"], int)
+    assert isinstance(result.params["steps"], int)
+
+
+def test_auto_backend_unavailable_warns_and_uses_model(monkeypatch):
+    monkeypatch.setattr(backends, "backend_available", lambda name: False)
+    with pytest.warns(UserWarning, match="unavailable"):
+        result = run(PROBLEM, impl="ca-parsec", machine=MACHINE,
+                     tile="auto", steps="auto", tune=True, tune_budget=8,
+                     tune_cache=False)
+    assert result.params["tune_source"] == "model"
+
+
+def test_tune_true_spends_budget_and_caches(tmp_path):
+    store = TuningCache(tmp_path / "t.json")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # a budgeted search must not warn
+        result = run(PROBLEM, impl="ca-parsec", machine=MACHINE,
+                     tile="auto", steps="auto", tune=True, tune_budget=6,
+                     tune_cache=store)
+    assert result.params["tune_source"] == "search"
+    assert len(store.entries()) == 1
+
+
+def test_auto_consumes_cached_winner_end_to_end(tmp_path):
+    store = TuningCache(tmp_path / "t.json")
+    tuned = tune(PROBLEM, impl="ca-parsec", machine=MACHINE, budget=6,
+                 cache=store)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # warm cache: no fallback warning
+        result = run(PROBLEM, impl="ca-parsec", machine=MACHINE,
+                     tile="auto", steps="auto", tune_cache=store)
+    assert result.params["tune_source"] == "cache"
+    assert result.params["tile"] == tuned.winner.tile
+    assert result.params["steps"] == tuned.winner.steps
+
+
+def test_pinned_tile_respected_over_cache(tmp_path):
+    store = TuningCache(tmp_path / "t.json")
+    tuned = tune(PROBLEM, impl="ca-parsec", machine=MACHINE, budget=6,
+                 cache=store)
+    other_tile = 12 if tuned.winner.tile != 12 else 24
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        result = run(PROBLEM, impl="ca-parsec", machine=MACHINE,
+                     tile=other_tile, steps="auto", tune_cache=store)
+    assert result.params["tile"] == other_tile
+    # The constrained resolution must not clobber the real winner.
+    entry = store.get(MACHINE, PROBLEM, "sim", "ca-parsec")
+    assert store.candidate_of(entry) == tuned.winner
+
+
+def test_base_parsec_auto_tile():
+    with pytest.warns(UserWarning):
+        result = run(PROBLEM, impl="base-parsec", machine=MACHINE,
+                     tile="auto", tune_cache=False)
+    assert result.params["tune_source"] == "model"
+    assert "steps" not in result.params
+
+
+def test_petsc_rejects_auto():
+    with pytest.raises(ValueError, match="petsc has no tile/step knobs"):
+        run(PROBLEM, impl="petsc", machine=MACHINE, tile="auto")
+
+
+def test_bogus_auto_strings_rejected():
+    with pytest.raises(ValueError, match="tile must be"):
+        run(PROBLEM, impl="ca-parsec", machine=MACHINE, tile="automatic")
+    with pytest.raises(ValueError, match="steps must be"):
+        run(PROBLEM, impl="ca-parsec", machine=MACHINE, tile=24, steps="many")
