@@ -15,6 +15,12 @@ Gives the library's main entry points a shell-friendly face:
   CSV/JSON export (the shell face of ``repro.experiments.sweeper``);
 * ``experiment`` -- regenerate one of the paper's tables/figures by
   registry id (``table1``, ``fig5`` ... ``headlines``);
+* ``monitor`` -- run one configuration with live progress lines
+  (tasks done/total, occupancy, messages vs. the static census);
+* ``stats`` -- an instrumented run with a post-run metric summary,
+  Prometheus/JSONL/OTel exports, baseline recording
+  (``--write-baseline``) and the perf-regression gate (``--check``,
+  exit 1 on regression; see ``docs/observability.md``);
 * ``validate`` -- the cross-implementation equivalence check;
 * ``machines`` -- list the machine presets with their parameters.
 """
@@ -140,6 +146,74 @@ def _add_sweep_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--json-out", default=None, metavar="FILE.json")
 
 
+def _int_or_auto(value: str) -> int | str:
+    """Knob values that are either an integer or the string 'auto'."""
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+
+
+def _add_obs_run_flags(p: argparse.ArgumentParser) -> None:
+    """The run-configuration knobs shared by ``monitor`` and ``stats``."""
+    p.add_argument("--impl", choices=IMPLEMENTATIONS, default="ca-parsec")
+    p.add_argument("--machine", default="nacl", help="machine preset name")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--n", type=int, default=256, help="grid edge length")
+    p.add_argument("--iterations", type=int, default=8)
+    p.add_argument("--tile", type=_int_or_auto, default=None,
+                   help="tile size, or 'auto' for the tuner")
+    p.add_argument("--steps", type=_int_or_auto, default=4,
+                   help="CA step size, or 'auto' for the tuner")
+    p.add_argument("--ratio", type=float, default=1.0)
+    p.add_argument("--policy", default="priority",
+                   choices=("priority", "fifo", "lifo"))
+    p.add_argument("--backend", choices=BACKENDS, default="sim")
+    p.add_argument("--jobs", type=int, default=None)
+    p.add_argument("--procs", type=int, default=None)
+
+
+def _add_monitor_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "monitor",
+        help="run one configuration with live progress telemetry",
+    )
+    _add_obs_run_flags(p)
+    p.add_argument("--interval", type=float, default=0.5,
+                   help="seconds between progress samples")
+
+
+def _add_stats_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "stats",
+        help="instrumented run: metric summary, baselines and the "
+             "perf-regression gate",
+    )
+    _add_obs_run_flags(p)
+    p.add_argument("--check", default=None, metavar="FILE.json",
+                   help="compare against a recorded baseline "
+                        "(obs-baseline or BENCH_*.json); exit 1 on "
+                        "regression")
+    p.add_argument("--write-baseline", default=None, metavar="FILE.json",
+                   help="record this run as an obs-baseline document")
+    p.add_argument("--tolerance", type=float, default=0.10,
+                   help="allowed relative drift per gated metric")
+    p.add_argument("--section", action="append", default=None,
+                   metavar="NAME",
+                   help="restrict a BENCH_*.json check to one section "
+                        "(repeatable)")
+    p.add_argument("--prom-out", default=None, metavar="FILE.prom",
+                   help="write Prometheus text exposition")
+    p.add_argument("--jsonl-out", default=None, metavar="FILE.jsonl",
+                   help="write metrics (and spans, if traced) as JSON lines")
+    p.add_argument("--otel-out", default=None, metavar="FILE.json",
+                   help="write OTel-style span export (implies tracing)")
+
+
 def _add_experiment_parser(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("id", help="experiment id (use 'list' to enumerate)")
@@ -165,6 +239,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_compare_parser(sub)
     _add_tune_parser(sub)
     _add_sweep_parser(sub)
+    _add_monitor_parser(sub)
+    _add_stats_parser(sub)
     _add_experiment_parser(sub)
     _add_validate_parser(sub)
     sub.add_parser("machines", help="list machine presets")
@@ -338,6 +414,110 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _instrumented_run(args: argparse.Namespace, config: dict | None = None,
+                      on_executor=None, want_trace: bool = False):
+    """One run with a metrics registry attached; ``config`` (from an
+    obs-baseline document) overrides the CLI flags so a check re-runs
+    exactly the recorded configuration.  Returns the RunResult."""
+    from .obs import MetricRegistry
+
+    cfg = dict(config or {})
+    machine = preset(cfg.get("machine", args.machine),
+                     nodes=int(cfg.get("nodes", args.nodes)))
+    problem = JacobiProblem(n=int(cfg.get("n", args.n)),
+                            iterations=int(cfg.get("iterations",
+                                                   args.iterations)))
+    backend = cfg.get("backend", args.backend)
+    kwargs = dict(
+        impl=cfg.get("impl", args.impl),
+        machine=machine,
+        tile=cfg.get("tile", args.tile),
+        steps=cfg.get("steps", args.steps),
+        ratio=float(cfg.get("ratio", args.ratio)),
+        policy=cfg.get("policy", args.policy),
+        backend=backend,
+        jobs=cfg.get("jobs", args.jobs),
+        metrics=MetricRegistry(),
+        on_executor=on_executor,
+        trace=want_trace,
+    )
+    if kwargs["impl"] == "petsc":
+        kwargs.pop("tile"), kwargs.pop("steps")
+        kwargs["ratio"] = 1.0
+    if backend == "processes":
+        kwargs["procs"] = cfg.get("procs", args.procs)
+    return run(problem, **kwargs)
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from .obs import RunMonitor, format_summary
+
+    monitor = RunMonitor(interval=args.interval, stream=sys.stdout)
+    try:
+        result = _instrumented_run(args, on_executor=monitor.attach)
+    finally:
+        monitor.stop()
+    print(result.summary())
+    print(format_summary(result.metrics))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .obs import format_summary, regress
+
+    if args.check:
+        doc = json.loads(Path(args.check).read_text())
+        if not isinstance(doc, dict):
+            print(f"{args.check}: baseline must be a JSON object",
+                  file=sys.stderr)
+            return 2
+        if doc.get("kind") == regress.BASELINE_KIND:
+            baseline = regress.flatten(doc.get("metrics", {}))
+            result = _instrumented_run(args, config=doc.get("config", {}))
+            measured = regress.metrics_from_result(result)
+            print(result.summary())
+            print(format_summary(result.metrics))
+        else:
+            baseline = regress.flatten(doc)
+            measured, skipped = regress.measure_bench_tuning(
+                baseline, sections=args.section
+            )
+            for note in skipped:
+                print(f"skipped: {note}")
+        report = regress.compare(baseline, measured,
+                                 tolerance=args.tolerance)
+        print(report.format())
+        return 0 if report.ok else 1
+
+    result = _instrumented_run(args, want_trace=args.otel_out is not None)
+    snapshot = result.metrics
+    print(result.summary())
+    print(format_summary(snapshot))
+    if args.prom_out:
+        from .obs.export import write_prometheus
+
+        write_prometheus(snapshot, args.prom_out)
+        print(f"Prometheus exposition written to {args.prom_out}")
+    if args.jsonl_out:
+        from .obs.export import write_jsonl
+
+        write_jsonl(args.jsonl_out, trace=result.trace, snapshot=snapshot)
+        print(f"JSON lines written to {args.jsonl_out}")
+    if args.otel_out:
+        from .obs.export import write_otel
+
+        write_otel(result.trace, args.otel_out)
+        print(f"OTel span export written to {args.otel_out}")
+    if args.write_baseline:
+        regress.write_baseline(args.write_baseline,
+                               regress.baseline_doc(result))
+        print(f"baseline written to {args.write_baseline}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments import registry
     from .experiments.common import NACL, STAMPEDE2
@@ -428,6 +608,8 @@ def main(argv: list[str] | None = None) -> int:
         "compare": _cmd_compare,
         "tune": _cmd_tune,
         "sweep": _cmd_sweep,
+        "monitor": _cmd_monitor,
+        "stats": _cmd_stats,
         "experiment": _cmd_experiment,
         "validate": _cmd_validate,
         "machines": _cmd_machines,

@@ -55,6 +55,12 @@ class RunResult:
         return self.engine.trace
 
     @property
+    def metrics(self):
+        """The :class:`repro.obs.MetricsSnapshot` published by the
+        backend, or ``None`` when the run was not instrumented."""
+        return getattr(self.engine, "metrics", None)
+
+    @property
     def redundant_fraction(self) -> float:
         """Redundant FLOP as a fraction of useful FLOP (the price CA
         pays for fewer messages)."""

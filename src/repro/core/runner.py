@@ -74,6 +74,8 @@ def run(
     tune_backend: str | None = None,
     tune_cache=None,
     tune_seed: int = 0,
+    metrics=None,
+    on_executor=None,
 ) -> RunResult:
     """Run ``problem`` with one implementation on one machine model.
 
@@ -98,6 +100,12 @@ def run(
     simulator), while without ``tune`` the resolution falls back to
     the free model-only pick with a warning.  ``tune_cache`` is a
     cache path/object, or ``False`` to disable persistence.
+
+    ``metrics`` accepts a :class:`repro.obs.MetricRegistry`; every
+    backend publishes its end-of-run counters/gauges into it and the
+    resulting snapshot is exposed as ``result.metrics``.
+    ``on_executor`` is called with the live engine/executor just
+    before the run starts, so a monitor can poll its ``progress()``.
 
     All selector strings are validated here, before any graph is
     built, so a typo fails with the list of choices instead of a
@@ -131,7 +139,7 @@ def run(
         tile, steps, tune_info = resolve_auto(
             problem, impl=impl, machine=machine, tile=tile, steps=steps,
             backend=tune_backend or "sim", budget=budget, cache=tune_cache,
-            seed=tune_seed, jobs=jobs,
+            seed=tune_seed, jobs=jobs, metrics=metrics,
         )
         tune_source = tune_info["source"]
     if jobs is not None and jobs < 1:
@@ -190,12 +198,26 @@ def run(
             )
             params.update(tile=tile, steps=steps, ratio=ratio, overlap=overlap)
 
+    if metrics is not None:
+        # The static census is the ground truth the dynamic message
+        # counters are judged against (`repro stats` prints both).
+        census = built.graph.census()
+        metrics.gauge(
+            "census_messages", help="remote messages the graph implies"
+        ).set(census.remote_messages)
+        metrics.gauge(
+            "census_message_bytes", unit="bytes",
+            help="remote payload the graph implies",
+        ).set(census.remote_bytes)
+
     if backend == "threads":
         from ..exec.executor import ThreadedExecutor
 
         executor = ThreadedExecutor(
-            built.graph, jobs=jobs, policy=policy, trace=trace
+            built.graph, jobs=jobs, policy=policy, trace=trace, metrics=metrics
         )
+        if on_executor is not None:
+            on_executor(executor)
         report = executor.run()
         params.update(backend="threads", jobs=executor.jobs)
         grid = built.assemble_grid(report.results)
@@ -212,8 +234,11 @@ def run(
         from ..exec.procs import ProcessExecutor
 
         executor = ProcessExecutor(
-            built.graph, procs=machine.nodes, jobs=jobs, policy=policy, trace=trace
+            built.graph, procs=machine.nodes, jobs=jobs, policy=policy,
+            trace=trace, metrics=metrics,
         )
+        if on_executor is not None:
+            on_executor(executor)
         report = executor.run()
         params.update(backend="processes", procs=executor.procs, jobs=executor.jobs)
         grid = built.assemble_grid(report.results)
@@ -233,7 +258,10 @@ def run(
         execute=with_kernels,
         overlap=overlap,
         trace=trace,
+        metrics=metrics,
     )
+    if on_executor is not None:
+        on_executor(engine)
     report = engine.run()
     grid = built.assemble_grid(report.results) if with_kernels else None
     return RunResult(

@@ -34,6 +34,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import trace_validation_enabled
+from ..obs.metrics import MetricRegistry, MetricsSnapshot
 from ..runtime.engine import EngineReport, KernelError
 from ..runtime.graph import TaskGraph
 from ..runtime.task import Task, TaskKey
@@ -119,7 +121,15 @@ class ThreadedExecutor:
         simulator's scheduler (see :mod:`repro.exec.policies`).
     trace:
         Capture a wall-clock :class:`~repro.runtime.trace.Trace`.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricRegistry` the run
+        emits into.  Hot-path tallies are per-worker (contention-free);
+        the registry is populated once at report time.
     """
+
+    #: Node label the executor's metrics are emitted under (the procs
+    #: backend's per-node subclass overrides this with its node id).
+    metrics_node = HOST_NODE
 
     def __init__(
         self,
@@ -127,6 +137,7 @@ class ThreadedExecutor:
         jobs: int | None = None,
         policy: str = "lifo",
         trace: bool = False,
+        metrics: MetricRegistry | None = None,
     ) -> None:
         graph.finalize()
         self.graph = graph
@@ -135,6 +146,12 @@ class ThreadedExecutor:
             raise ValueError(f"need at least one worker thread, got {self.jobs}")
         self.policy = policy.lower()
         self.want_trace = trace
+        self.metrics = metrics
+        #: per-worker kind tallies; worker ``w`` is the only writer of
+        #: slot ``w``, so recording is lock-free like the recorder lanes
+        self._kind_counts: list[dict[str, int]] | None = (
+            [{} for _ in range(self.jobs)] if metrics is not None else None
+        )
         self._queues = make_work_queues(self.policy, self.jobs)
         self._check_executable()
 
@@ -241,12 +258,60 @@ class ThreadedExecutor:
         else:
             handle._finish(self._build_report(), None)
 
+    def _publish_metrics(self, elapsed: float) -> MetricsSnapshot | None:
+        """Fold the per-worker tallies into the attached registry and
+        return its snapshot (called once, at report time)."""
+        reg = self.metrics
+        if reg is None:
+            return None
+        node = self.metrics_node
+        tasks = reg.counter("tasks_executed_total",
+                            "tasks executed, by kind", "tasks")
+        assert self._kind_counts is not None
+        for kinds in self._kind_counts:
+            for kind, count in kinds.items():
+                tasks.inc(count, kind=kind)
+        if self._steals:
+            reg.counter("tasks_stolen_total",
+                        "tasks acquired by work stealing", "tasks").inc(
+                self._steals, node=node)
+        busy = reg.counter("worker_busy_seconds_total",
+                           "busy time per compute worker", "seconds")
+        for wid, seconds in self._recorder.busy_per_worker().items():
+            busy.inc(seconds, node=node, worker=wid)
+        reg.gauge("run_elapsed_seconds",
+                  "wall-clock makespan of the run", "seconds").set(elapsed)
+        reg.gauge("tasks_total", "tasks in the executed graph",
+                  "tasks").set(len(self.graph))
+        reg.gauge("workers_per_node", "worker threads per node/process",
+                  "workers").set(self.jobs)
+        return reg.snapshot()
+
+    def progress(self) -> dict:
+        """Live view of the run for :mod:`repro.obs.monitor`.  Reads
+        shared integers without the lock -- a sample may be one task
+        stale, which is fine for a progress display."""
+        total = len(self.graph)
+        done = total - self._unfinished
+        now = self._recorder.now()
+        return {
+            "done": done,
+            "total": total,
+            "elapsed_s": (now - self._t_begin) if self._started else 0.0,
+            "busy_s": sum(self._recorder.busy_per_worker().values()),
+            "workers": self.jobs,
+            "steals": self._steals,
+        }
+
     def _build_report(self) -> ExecReport:
         elapsed = self._t_end - self._t_begin
         useful, redundant = self.graph.total_flops()
         worker_busy = self._recorder.busy_per_worker()
         local_edges = sum(len(t.inputs) for t in self.graph)
         local_bytes = sum(f.nbytes for t in self.graph for f in t.inputs)
+        trace = self._recorder.to_trace() if self.want_trace else None
+        if trace is not None and trace_validation_enabled():
+            trace.validate()
         return ExecReport(
             elapsed=elapsed,
             tasks_run=len(self._completed),
@@ -259,8 +324,9 @@ class ThreadedExecutor:
             node_busy={HOST_NODE: sum(worker_busy.values())},
             comm_busy={},
             max_comm_backlog=0,
-            trace=self._recorder.to_trace() if self.want_trace else None,
+            trace=trace,
             results=self._results,
+            metrics=self._publish_metrics(elapsed),
             jobs=self.jobs,
             policy=self.policy,
             steals=self._steals,
@@ -314,6 +380,9 @@ class ThreadedExecutor:
                     self._work_ready.notify_all()
                 return
             recorder.record(wid, task.kind, start, end, task.key)
+            if self._kind_counts is not None:
+                kinds = self._kind_counts[wid]
+                kinds[task.kind] = kinds.get(task.kind, 0) + 1
             handle = self._handle
             if handle is not None:
                 handle._record_done(
@@ -395,9 +464,12 @@ def execute(
     policy: str = "lifo",
     trace: bool = False,
     timeout: float | None = None,
+    metrics: MetricRegistry | None = None,
 ) -> ExecReport:
     """One-shot convenience: run ``graph`` on a fresh pool."""
-    return ThreadedExecutor(graph, jobs=jobs, policy=policy, trace=trace).run(timeout)
+    return ThreadedExecutor(
+        graph, jobs=jobs, policy=policy, trace=trace, metrics=metrics
+    ).run(timeout)
 
 
 __all__ = [

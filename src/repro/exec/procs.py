@@ -60,6 +60,9 @@ from multiprocessing.connection import wait as conn_wait
 
 import numpy as np
 
+from ..obs import trace_validation_enabled
+from ..obs.export import build_trace
+from ..obs.metrics import MetricRegistry, MetricsSnapshot
 from ..runtime.engine import KernelError
 from ..runtime.graph import TaskGraph
 from ..runtime.task import Task, TaskKey
@@ -314,15 +317,18 @@ class _NodeExecutor(ThreadedExecutor):
     outputs leave through the attached courier."""
 
     def __init__(
-        self, graph: TaskGraph, node: int, jobs: int, policy: str, trace: bool
+        self, graph: TaskGraph, node: int, jobs: int, policy: str, trace: bool,
+        metrics: MetricRegistry | None = None,
     ) -> None:
         self.node = node
+        self.metrics_node = node  # label this node's metrics correctly
         self._local: list[Task] = [t for t in graph if t.node == node]
         #: (producer, tag) -> local consumer keys (one entry per flow)
         self._remote_consumers: dict[tuple[TaskKey, str], list[TaskKey]] = {}
         self._inject_rr = 0
         self._courier: _Courier | None = None
-        super().__init__(graph, jobs=jobs, policy=policy, trace=trace)
+        super().__init__(graph, jobs=jobs, policy=policy, trace=trace,
+                         metrics=metrics)
         self._unfinished = len(self._local)
         self._plan = _send_plan(graph, node)
 
@@ -418,6 +424,7 @@ def _node_main(
     jobs: int,
     policy: str,
     want_trace: bool,
+    want_metrics: bool,
     epoch: float,
     peers: dict[int, Connection],
     ctrl: Connection,
@@ -428,9 +435,10 @@ def _node_main(
         conn.close()
     courier = _Courier(peers)
     receiver: _Receiver | None = None
+    registry = MetricRegistry() if want_metrics else None
     try:
         executor = _NodeExecutor(graph, node, jobs=jobs, policy=policy,
-                                 trace=want_trace)
+                                 trace=want_trace, metrics=registry)
         executor._courier = courier
         receiver = _Receiver(executor, peers, ctrl)
         courier.start()
@@ -472,6 +480,33 @@ def _node_main(
                 ]
                 stats["send_spans"] = _relative_spans(courier.spans, epoch)
                 stats["recv_spans"] = _relative_spans(receiver.spans, epoch)
+            if registry is not None:
+                # Child-registry merge: fold this node's comm tallies in
+                # and ship the snapshot home over the control pipe.
+                msgs = registry.counter(
+                    "messages_total",
+                    "remote messages delivered, by lane", "messages")
+                mbytes = registry.counter(
+                    "message_bytes_total",
+                    "declared ghost-copy payload bytes, by lane", "bytes")
+                wire = registry.counter(
+                    "wire_bytes_total",
+                    "pickled frame bytes that crossed the pipes, by lane",
+                    "bytes")
+                for dst, (n, nbytes, wbytes) in courier.by_dst.items():
+                    msgs.inc(n, src=node, dst=dst)
+                    mbytes.inc(nbytes, src=node, dst=dst)
+                    wire.inc(wbytes, src=node, dst=dst)
+                comm = registry.counter(
+                    "comm_busy_seconds_total",
+                    "communication-thread busy time per node", "seconds")
+                if courier.spans:
+                    comm.inc(stats["send_busy"], node=node, lane="send")
+                if receiver.spans:
+                    comm.inc(stats["recv_busy"], node=node, lane="recv")
+                # The worker-side counters were already folded in by the
+                # executor's own report; snapshot and ship everything.
+                stats["metrics"] = registry.snapshot()
             ctrl.send(("done", stats))
         else:
             ctrl.send(outcome)
@@ -526,6 +561,12 @@ class ProcessExecutor:
         Capture a merged wall-clock :class:`Trace` across processes
         (compute lanes per worker, ``-1``/``-2`` comm lanes for
         send/recv).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricRegistry`.  Each node
+        process records into its own child registry; the children ship
+        their snapshots home over the existing control pipes at
+        shutdown and the parent merges them into this registry, so
+        merged counters equal single-process totals exactly.
     """
 
     def __init__(
@@ -535,6 +576,7 @@ class ProcessExecutor:
         jobs: int | None = None,
         policy: str = "lifo",
         trace: bool = False,
+        metrics: MetricRegistry | None = None,
     ) -> None:
         if not fork_available():
             raise RuntimeError(
@@ -559,6 +601,7 @@ class ProcessExecutor:
         self.jobs = jobs
         self.policy = policy.lower()
         self.want_trace = trace
+        self.metrics = metrics
         ensure_executable(graph, backend="processes")
 
         self._started = False
@@ -573,6 +616,19 @@ class ProcessExecutor:
     def processes(self) -> list[mp.Process]:
         """The node processes (for liveness checks in tests/tools)."""
         return list(self._processes)
+
+    def progress(self) -> dict:
+        """Live view for :mod:`repro.obs.monitor`.  Children report
+        their task tallies only at shutdown, so mid-run the parent can
+        observe process liveness and elapsed time, not task counts."""
+        alive = sum(1 for p in self._processes if p.is_alive())
+        return {
+            "total": len(self.graph),
+            "elapsed_s": (time.perf_counter() - self._epoch)
+            if self._started else 0.0,
+            "procs_alive": alive,
+            "procs": self.procs,
+        }
 
     # -- public API -----------------------------------------------------
 
@@ -603,7 +659,8 @@ class ProcessExecutor:
             proc = ctx.Process(
                 target=_node_main,
                 args=(node, self.graph, self.jobs, self.policy, self.want_trace,
-                      self._epoch, ends[node], ctrl_pairs[node][1], unused),
+                      self.metrics is not None, self._epoch, ends[node],
+                      ctrl_pairs[node][1], unused),
                 name=f"repro-procs-{node}",
                 daemon=True,
             )
@@ -755,7 +812,7 @@ class ProcessExecutor:
         comm_busy: dict[int, float] = {}
         by_pair: dict[tuple[int, int], tuple[int, int]] = {}
         messages = payload_bytes = wire_bytes = steals = 0
-        trace = Trace() if self.want_trace else None
+        trace: Trace | None = None
         spans: list[tuple] = []
         for node, outcome in sorted(outcomes.items()):
             stats = outcome[1]
@@ -771,17 +828,25 @@ class ProcessExecutor:
             wire_bytes += stats["wire_bytes"]
             for dst, (msgs, nbytes, _wire) in stats["by_dst"].items():
                 by_pair[(node, dst)] = (msgs, nbytes)
-            if trace is not None:
+            if self.want_trace:
                 for wid, kind, start, end, label in stats["task_spans"]:
-                    spans.append((start, end, node, wid, kind, label))
+                    spans.append((node, wid, kind, start, end, label))
                 for start, end, label in stats["send_spans"]:
-                    spans.append((start, end, node, SEND_LANE, "send", label))
+                    spans.append((node, SEND_LANE, "send", start, end, label))
                 for start, end, label in stats["recv_spans"]:
-                    spans.append((start, end, node, RECV_LANE, "recv", label))
-        if trace is not None:
-            spans.sort(key=lambda s: (s[0], s[1]))
-            for start, end, node, wid, kind, label in spans:
-                trace.record(node, wid, kind, start, end, label)
+                    spans.append((node, RECV_LANE, "recv", start, end, label))
+            if self.metrics is not None and "metrics" in stats:
+                self.metrics.merge(stats["metrics"])
+        if self.want_trace:
+            trace = build_trace(spans)
+            if trace_validation_enabled():
+                trace.validate()
+        snapshot: MetricsSnapshot | None = None
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "run_elapsed_seconds", "wall-clock makespan of the run",
+                "seconds").set(elapsed)
+            snapshot = self.metrics.snapshot()
         return ProcsReport(
             elapsed=elapsed,
             tasks_run=len(completed),
@@ -796,6 +861,7 @@ class ProcessExecutor:
             max_comm_backlog=0,
             trace=trace,
             results=results,
+            metrics=snapshot,
             jobs=self.jobs,
             policy=self.policy,
             steals=steals,
@@ -814,10 +880,12 @@ def execute_procs(
     policy: str = "lifo",
     trace: bool = False,
     timeout: float | None = None,
+    metrics: MetricRegistry | None = None,
 ) -> ProcsReport:
     """One-shot convenience: run ``graph`` on a fresh process pool."""
     return ProcessExecutor(
-        graph, procs=procs, jobs=jobs, policy=policy, trace=trace
+        graph, procs=procs, jobs=jobs, policy=policy, trace=trace,
+        metrics=metrics,
     ).run(timeout)
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import time
 
+from ..obs.export import build_trace
 from ..runtime.trace import Trace
 
 #: Trace node id under which all worker threads of one host appear.
@@ -60,20 +61,15 @@ class WallClockRecorder:
         return sum(len(lane) for lane in self._lanes)
 
     def to_trace(self, node: int = HOST_NODE) -> Trace:
-        """Materialise a :class:`Trace` with origin-relative seconds.
-
-        Spans are emitted sorted by start time across all workers, the
-        order the simulator's trace naturally has.
-        """
-        spans: list[tuple[float, float, int, str, object]] = []
-        for wid, lane in enumerate(self._lanes):
-            for kind, start, end, label in lane:
-                spans.append((start - self._t0, end - self._t0, wid, kind, label))
-        spans.sort(key=lambda s: (s[0], s[1]))
-        trace = Trace()
-        for start, end, wid, kind, label in spans:
-            trace.record(node, wid, kind, start, end, label)
-        return trace
+        """Materialise a :class:`Trace` with origin-relative seconds
+        via the shared :func:`repro.obs.export.build_trace` normaliser
+        (spans sorted by start time across all workers, the order the
+        simulator's trace naturally has)."""
+        return build_trace(
+            (node, wid, kind, start - self._t0, end - self._t0, label)
+            for wid, lane in enumerate(self._lanes)
+            for kind, start, end, label in lane
+        )
 
     def busy_per_worker(self) -> dict[int, float]:
         """Total busy seconds per worker lane."""

@@ -1,0 +1,60 @@
+"""Unified telemetry: metrics registry, exporters, monitor, gate.
+
+PaRSEC's profiling system is the instrument the paper's validation
+rests on (Fig. 10's traces, worker occupancy, median kernel times).
+This package is our software-counter equivalent, shared by every
+execution layer:
+
+* :mod:`repro.obs.metrics` -- counters / gauges / histograms in one
+  process-mergeable registry; the sim engine, the threads pool, the
+  procs IPC mesh and the autotuner all emit into it;
+* :mod:`repro.obs.export` -- one serializer for every trace and
+  metric sink: Chrome/Perfetto events, JSON lines, OTel-style spans,
+  Prometheus text exposition;
+* :mod:`repro.obs.monitor` -- live progress of a running backend and
+  post-run summaries (the ``repro monitor`` / ``repro stats`` CLI);
+* :mod:`repro.obs.regress` -- the perf-regression gate comparing a
+  fresh run against recorded BENCH baselines with tolerances.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    MetricsSnapshot,
+)
+from .monitor import RunMonitor, format_summary, monitored_run
+from .regress import RegressReport, compare, load_baseline
+
+#: Environment variable enabling the debug-mode trace validation the
+#: engine and both real backends run after a traced run.
+DEBUG_TRACE_ENV = "REPRO_DEBUG_TRACE"
+
+
+def trace_validation_enabled() -> bool:
+    """Whether the debug flag asking for post-run ``Trace.validate()``
+    is set (any non-empty value that is not ``"0"``)."""
+    value = os.environ.get(DEBUG_TRACE_ENV, "")
+    return bool(value) and value != "0"
+
+
+__all__ = [
+    "Counter",
+    "DEBUG_TRACE_ENV",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "MetricsSnapshot",
+    "RegressReport",
+    "RunMonitor",
+    "compare",
+    "format_summary",
+    "load_baseline",
+    "monitored_run",
+    "trace_validation_enabled",
+]

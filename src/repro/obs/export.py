@@ -1,0 +1,315 @@
+"""One serializer for every telemetry sink.
+
+Every backend records activity in the same
+:class:`~repro.runtime.trace.Trace` schema (the simulator's virtual
+clock, the threads pool's wall clock, the procs mesh's merged lanes),
+so every export lives here, once:
+
+* **Chrome/Perfetto trace events** -- the interactive Fig.-10 viewer
+  (formerly duplicated in ``runtime/chrome_trace.py``, which is now a
+  thin alias of this module);
+* **JSON lines** -- one span or one metric sample per line, the
+  append-friendly form log pipelines want;
+* **OTel-style spans** -- an OpenTelemetry-compatible JSON document
+  (``resourceSpans`` / ``scopeSpans`` with span ids and unix-nano
+  timestamps) built from the same :class:`Span` schema;
+* **Prometheus text exposition** -- a :class:`MetricsSnapshot`
+  rendered in the ``# HELP`` / ``# TYPE`` format scrapers parse.
+
+It also owns :func:`build_trace`, the span-list-to-``Trace``
+normalisation both wall-clock recorders previously reimplemented.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Iterable
+
+from ..runtime.trace import Span, Trace
+from .metrics import MetricsSnapshot
+
+#: Microseconds per virtual second (trace events use microseconds).
+_US = 1e6
+
+#: Stable colour names from the trace-viewer palette per span kind.
+_COLORS = {
+    "interior": "thread_state_running",
+    "boundary": "thread_state_iowait",
+    "init": "startup",
+    "spmv": "thread_state_running",
+    "send": "rail_animation",
+    "recv": "rail_load",
+}
+
+
+# ---------------------------------------------------------------------------
+# shared trace normalisation
+# ---------------------------------------------------------------------------
+
+
+def build_trace(
+    spans: Iterable[tuple[int, int, str, float, float, Any]],
+) -> Trace:
+    """Materialise a :class:`Trace` from ``(node, worker, kind, start,
+    end, label)`` tuples, emitted sorted by start time across all lanes
+    -- the order the simulator's trace naturally has.  Shared by the
+    threads backend's wall-clock recorder and the procs backend's
+    cross-process merge."""
+    ordered = sorted(spans, key=lambda s: (s[3], s[4]))
+    trace = Trace()
+    for node, worker, kind, start, end, label in ordered:
+        trace.record(node, worker, kind, start, end, label)
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# Chrome / Perfetto trace events
+# ---------------------------------------------------------------------------
+
+
+def to_events(trace: Trace, time_scale: float = 1.0) -> list[dict[str, Any]]:
+    """Convert spans to Chrome trace-event dicts.
+
+    Each node becomes a process, each worker a thread (comm lanes are
+    ``comm``), every span a complete ('X') event.  ``time_scale``
+    stretches virtual time (useful when spans are nanoseconds-short
+    and the viewer rounds them away).
+    """
+    if time_scale <= 0:
+        raise ValueError("time_scale must be positive")
+    events: list[dict[str, Any]] = []
+    seen_threads: set[tuple[int, int]] = set()
+    for span in trace.spans:
+        tid = span.worker if span.worker >= 0 else 9999
+        key = (span.node, tid)
+        if key not in seen_threads:
+            seen_threads.add(key)
+            events.append({
+                "ph": "M",
+                "name": "thread_name",
+                "pid": span.node,
+                "tid": tid,
+                "args": {"name": "comm" if span.worker < 0 else f"worker {span.worker}"},
+            })
+        event = {
+            "ph": "X",
+            "name": span.kind,
+            "cat": "task" if span.worker >= 0 else "comm",
+            "pid": span.node,
+            "tid": tid,
+            "ts": span.start * _US * time_scale,
+            "dur": span.duration * _US * time_scale,
+        }
+        if span.label is not None:
+            event["args"] = {"label": repr(span.label)}
+        color = _COLORS.get(span.kind)
+        if color:
+            event["cname"] = color
+        events.append(event)
+    for node in sorted({s.node for s in trace.spans}):
+        events.append({
+            "ph": "M",
+            "name": "process_name",
+            "pid": node,
+            "args": {"name": f"node {node}"},
+        })
+    return events
+
+
+def dumps(trace: Trace, time_scale: float = 1.0) -> str:
+    """The complete Chrome trace JSON document as a string."""
+    return json.dumps(
+        {"traceEvents": to_events(trace, time_scale), "displayTimeUnit": "ms"}
+    )
+
+
+def write(trace: Trace, path: str, time_scale: float = 1.0) -> None:
+    """Write the Chrome trace to ``path`` (open in chrome://tracing)."""
+    with open(path, "w") as fh:
+        fh.write(dumps(trace, time_scale))
+
+
+# ---------------------------------------------------------------------------
+# JSON lines
+# ---------------------------------------------------------------------------
+
+
+def span_record(span: Span) -> dict[str, Any]:
+    """One span as a flat JSON-safe record."""
+    return {
+        "node": span.node,
+        "worker": span.worker,
+        "kind": span.kind,
+        "start_s": span.start,
+        "end_s": span.end,
+        "duration_s": span.duration,
+        "label": repr(span.label) if span.label is not None else None,
+    }
+
+
+def spans_jsonl(trace: Trace) -> str:
+    """One span per line, in trace order."""
+    return "\n".join(json.dumps(span_record(s)) for s in trace.spans)
+
+
+def metrics_jsonl(snapshot: MetricsSnapshot) -> str:
+    """One metric cell per line: name, kind, labels, state."""
+    lines = []
+    for name, entry in sorted(snapshot.data.items()):
+        for ls, state in sorted(entry["values"].items()):
+            lines.append(json.dumps({
+                "metric": name,
+                "kind": entry["kind"],
+                "unit": entry["unit"],
+                "labels": dict(ls),
+                "value": state,
+            }))
+    return "\n".join(lines)
+
+
+def write_jsonl(
+    path: str,
+    trace: Trace | None = None,
+    snapshot: MetricsSnapshot | None = None,
+) -> None:
+    """Append-friendly export: spans then metrics, one record per line."""
+    chunks = []
+    if trace is not None and len(trace):
+        chunks.append(spans_jsonl(trace))
+    if snapshot is not None and snapshot.data:
+        chunks.append(metrics_jsonl(snapshot))
+    with open(path, "w") as fh:
+        fh.write("\n".join(chunks) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# OTel-style spans
+# ---------------------------------------------------------------------------
+
+
+def _span_id(payload: str, nbytes: int) -> str:
+    return hashlib.sha256(payload.encode()).hexdigest()[: 2 * nbytes]
+
+
+def to_otel(
+    trace: Trace,
+    service_name: str = "repro",
+    epoch_unix_nanos: int = 0,
+) -> dict[str, Any]:
+    """An OpenTelemetry-compatible JSON document (the OTLP/JSON trace
+    shape: ``resourceSpans`` -> ``scopeSpans`` -> ``spans``).
+
+    Trace seconds are mapped onto unix nanoseconds starting at
+    ``epoch_unix_nanos``; span ids are deterministic hashes of the
+    span identity, so two exports of one trace are identical.
+    """
+    trace_id = _span_id(f"{service_name}:{len(trace)}:{trace.makespan()}", 16)
+    spans = []
+    for i, span in enumerate(trace.spans):
+        worker_name = "comm" if span.worker < 0 else f"worker-{span.worker}"
+        attributes = [
+            {"key": "node", "value": {"intValue": str(span.node)}},
+            {"key": "worker", "value": {"intValue": str(span.worker)}},
+            {"key": "kind", "value": {"stringValue": span.kind}},
+            {"key": "lane", "value": {"stringValue": worker_name}},
+        ]
+        if span.label is not None:
+            attributes.append(
+                {"key": "label", "value": {"stringValue": repr(span.label)}}
+            )
+        spans.append({
+            "traceId": trace_id,
+            "spanId": _span_id(f"{i}:{span.node}:{span.worker}:{span.kind}:{span.start}", 8),
+            "name": span.kind,
+            "kind": 1,  # SPAN_KIND_INTERNAL
+            "startTimeUnixNano": str(epoch_unix_nanos + int(span.start * 1e9)),
+            "endTimeUnixNano": str(epoch_unix_nanos + int(span.end * 1e9)),
+            "attributes": attributes,
+            "status": {},
+        })
+    return {
+        "resourceSpans": [{
+            "resource": {
+                "attributes": [{
+                    "key": "service.name",
+                    "value": {"stringValue": service_name},
+                }],
+            },
+            "scopeSpans": [{
+                "scope": {"name": "repro.obs", "version": "1"},
+                "spans": spans,
+            }],
+        }],
+    }
+
+
+def write_otel(trace: Trace, path: str, service_name: str = "repro") -> None:
+    with open(path, "w") as fh:
+        json.dump(to_otel(trace, service_name), fh)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(ls: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in ls]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(snapshot: MetricsSnapshot) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, entry in sorted(snapshot.data.items()):
+        pname = _prom_name(name)
+        kind = entry["kind"]
+        if entry.get("help"):
+            lines.append(f"# HELP {pname} {entry['help']}")
+        lines.append(f"# TYPE {pname} {kind if kind != 'untyped' else 'gauge'}")
+        for ls, state in sorted(entry["values"].items()):
+            if kind == "counter":
+                lines.append(f"{pname}{_prom_labels(ls)} {state}")
+            elif kind == "gauge":
+                lines.append(f"{pname}{_prom_labels(ls)} {state['value']}")
+            elif kind == "histogram":
+                cumulative = 0
+                for bound, n in zip(state["bounds"], state["buckets"]):
+                    cumulative += n
+                    le = 'le="%s"' % bound
+                    lines.append(f"{pname}_bucket{_prom_labels(ls, le)} {cumulative}")
+                inf = 'le="+Inf"'
+                lines.append(
+                    f"{pname}_bucket{_prom_labels(ls, inf)} {state['count']}"
+                )
+                lines.append(f"{pname}_sum{_prom_labels(ls)} {state['sum']}")
+                lines.append(f"{pname}_count{_prom_labels(ls)} {state['count']}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(snapshot: MetricsSnapshot, path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(prometheus_text(snapshot))
+
+
+__all__ = [
+    "build_trace",
+    "dumps",
+    "metrics_jsonl",
+    "prometheus_text",
+    "span_record",
+    "spans_jsonl",
+    "to_events",
+    "to_otel",
+    "write",
+    "write_jsonl",
+    "write_otel",
+    "write_prometheus",
+]

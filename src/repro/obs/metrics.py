@@ -1,0 +1,427 @@
+"""Metrics registry: counters, gauges and histograms.
+
+Design goals, in the order they mattered:
+
+* **Cheap recording.**  A metric cell is a plain Python attribute that
+  its (single) writer bumps without taking a lock -- the execution
+  layers are already structured so that each hot counter has exactly
+  one writer (a worker thread owns its lane, the courier owns the
+  send tallies, the engine is single-threaded), or the increment
+  happens inside a critical section the layer already holds.  Cell
+  *creation* is the only locked path, and layers hoist it out of hot
+  loops by keeping the cell handle.
+* **Exactness.**  The acceptance tests assert the procs-merged
+  counters equal the simulator's static census *exactly*; sums of
+  integer cells merged once at shutdown make that trivial.
+* **Process-safe merging.**  A registry snapshots to a plain-dict,
+  pickle/JSON-friendly form; child processes ship snapshots over the
+  existing control pipes and the parent folds them back in with
+  :meth:`MetricRegistry.merge`.
+* **Snapshot/delta semantics.**  Monitors poll with
+  :meth:`MetricRegistry.snapshot` and diff consecutive snapshots with
+  :meth:`MetricsSnapshot.delta` to get rates.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+#: Label values are stored as a sorted tuple of ``(key, value)`` pairs
+#: so every equal label set hashes identically.
+LabelSet = tuple[tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds (seconds-ish scale; callers
+#: with other units pass their own ladder).
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0,
+)
+
+
+def _labelset(labels: Mapping[str, object] | None) -> LabelSet:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Common shape of the three metric families."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", unit: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.unit = unit
+        self._lock = threading.Lock()
+        self._cells: dict[LabelSet, object] = {}
+
+    def _cell(self, labels: Mapping[str, object] | None, factory):
+        key = _labelset(labels)
+        cell = self._cells.get(key)
+        if cell is None:
+            with self._lock:
+                cell = self._cells.setdefault(key, factory())
+        return cell
+
+    def cells(self) -> dict[LabelSet, object]:
+        with self._lock:
+            return dict(self._cells)
+
+
+class CounterCell:
+    """One labelled counter value; ``add`` is unlocked by design (see
+    the module docstring for the single-writer discipline)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def add(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (tasks run, messages, bytes)."""
+
+    kind = "counter"
+
+    def labels(self, **labels: object) -> CounterCell:
+        """The cell for one label set; keep the handle in hot loops."""
+        return self._cell(labels, CounterCell)
+
+    def inc(self, amount: int | float = 1, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        self._cell(labels, CounterCell).add(amount)
+
+    def value(self, **labels: object) -> int | float:
+        cell = self._cells.get(_labelset(labels))
+        return cell.value if cell is not None else 0
+
+    def total(self) -> int | float:
+        """Sum over every label set."""
+        return sum(c.value for c in self.cells().values())
+
+
+class GaugeCell:
+    """Last-written value plus the high-water mark."""
+
+    __slots__ = ("value", "max")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.max = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max:
+            self.max = value
+
+
+class Gauge(_Metric):
+    """Point-in-time level (queue depth, progress, elapsed seconds)."""
+
+    kind = "gauge"
+
+    def labels(self, **labels: object) -> GaugeCell:
+        return self._cell(labels, GaugeCell)
+
+    def set(self, value: float, **labels: object) -> None:
+        self._cell(labels, GaugeCell).set(value)
+
+    def value(self, **labels: object) -> float:
+        cell = self._cells.get(_labelset(labels))
+        return cell.value if cell is not None else 0.0
+
+    def high_water(self, **labels: object) -> float:
+        cell = self._cells.get(_labelset(labels))
+        return cell.max if cell is not None else 0.0
+
+
+class HistogramCell:
+    """Fixed-bucket histogram state (counts per bucket + sum/count)."""
+
+    __slots__ = ("bounds", "buckets", "count", "sum", "min", "max")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self.bounds = bounds
+        self.buckets = [0] * (len(bounds) + 1)  # last bucket = +Inf
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.buckets[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class Histogram(_Metric):
+    """Distribution of observations (task durations, queue depths)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        unit: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, unit)
+        self.buckets = tuple(sorted(set(float(b) for b in buckets)))
+        if not self.buckets:
+            raise ValueError("a histogram needs at least one bucket bound")
+
+    def labels(self, **labels: object) -> HistogramCell:
+        return self._cell(labels, lambda: HistogramCell(self.buckets))
+
+    def observe(self, value: float, **labels: object) -> None:
+        self.labels(**labels).observe(value)
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable, JSON/pickle-friendly view of one registry moment.
+
+    ``data`` maps metric name to
+    ``{"kind", "help", "unit", "values": {labelset: state}}`` where the
+    state is a number (counter), ``{"value", "max"}`` (gauge), or the
+    bucket dict (histogram).  Label sets are tuples, so the structure
+    round-trips through pickle untouched; :meth:`as_dict` flattens
+    them for JSON.
+    """
+
+    data: dict
+
+    def metrics(self) -> dict:
+        return self.data
+
+    def counter(self, name: str, **labels: object) -> int | float:
+        """Summed counter value; with labels, that one cell only."""
+        entry = self.data.get(name)
+        if entry is None or entry["kind"] != "counter":
+            return 0
+        if labels:
+            return entry["values"].get(_labelset(labels), 0)
+        return sum(entry["values"].values())
+
+    def gauge(self, name: str, **labels: object) -> float:
+        entry = self.data.get(name)
+        if entry is None or entry["kind"] != "gauge":
+            return 0.0
+        state = entry["values"].get(_labelset(labels))
+        return state["value"] if state else 0.0
+
+    def labelled(self, name: str) -> dict[LabelSet, object]:
+        entry = self.data.get(name)
+        return dict(entry["values"]) if entry else {}
+
+    def delta(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Counter differences since ``earlier`` (gauges and histograms
+        keep their current state -- levels have no meaningful delta)."""
+        out: dict = {}
+        for name, entry in self.data.items():
+            if entry["kind"] != "counter":
+                out[name] = entry
+                continue
+            before = earlier.data.get(name, {}).get("values", {})
+            out[name] = {
+                **entry,
+                "values": {
+                    ls: v - before.get(ls, 0)
+                    for ls, v in entry["values"].items()
+                },
+            }
+        return MetricsSnapshot(out)
+
+    def as_dict(self) -> dict:
+        """JSON-safe form: label sets become ``k=v,k=v`` strings."""
+        out: dict = {}
+        for name, entry in self.data.items():
+            out[name] = {
+                "kind": entry["kind"],
+                "help": entry["help"],
+                "unit": entry["unit"],
+                "values": {
+                    ",".join(f"{k}={v}" for k, v in ls): state
+                    for ls, state in entry["values"].items()
+                },
+            }
+        return out
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "MetricsSnapshot":
+        """Inverse of :meth:`as_dict`."""
+        data: dict = {}
+        for name, entry in doc.items():
+            values = {}
+            for label_str, state in entry.get("values", {}).items():
+                ls: LabelSet = ()
+                if label_str:
+                    ls = tuple(
+                        tuple(part.split("=", 1))  # type: ignore[misc]
+                        for part in label_str.split(",")
+                    )
+                values[ls] = state
+            data[name] = {
+                "kind": entry.get("kind", "untyped"),
+                "help": entry.get("help", ""),
+                "unit": entry.get("unit", ""),
+                "values": values,
+            }
+        return cls(data)
+
+
+class MetricRegistry:
+    """Named collection of metrics with snapshot/merge semantics.
+
+    One registry serves one run (or one node process of a run); the
+    procs backend creates a child registry per node and merges every
+    child's snapshot into the parent's registry at shutdown.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    # -- creation --------------------------------------------------------
+
+    def _get_or_make(self, cls, name: str, help: str, unit: str, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = cls(name, help=help, unit=unit, **kwargs)
+                    self._metrics[name] = metric
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"not {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "", unit: str = "") -> Counter:
+        return self._get_or_make(Counter, name, help, unit)
+
+    def gauge(self, name: str, help: str = "", unit: str = "") -> Gauge:
+        return self._get_or_make(Gauge, name, help, unit)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        unit: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_make(Histogram, name, help, unit, buckets=buckets)
+
+    # -- introspection ---------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str) -> _Metric | None:
+        return self._metrics.get(name)
+
+    # -- snapshot / merge ------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Deterministic point-in-time copy (names and label sets are
+        emitted sorted, so equal states produce equal snapshots)."""
+        data: dict = {}
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        for name, metric in metrics:
+            values: dict = {}
+            for ls, cell in sorted(metric.cells().items()):
+                if isinstance(cell, CounterCell):
+                    values[ls] = cell.value
+                elif isinstance(cell, GaugeCell):
+                    values[ls] = {"value": cell.value, "max": cell.max}
+                else:
+                    assert isinstance(cell, HistogramCell)
+                    values[ls] = {
+                        "bounds": list(cell.bounds),
+                        "buckets": list(cell.buckets),
+                        "count": cell.count,
+                        "sum": cell.sum,
+                        "min": cell.min if cell.count else None,
+                        "max": cell.max if cell.count else None,
+                    }
+            data[name] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "unit": metric.unit,
+                "values": values,
+            }
+        return MetricsSnapshot(data)
+
+    def merge(self, snapshot: MetricsSnapshot | dict) -> None:
+        """Fold ``snapshot`` into this registry: counters and histogram
+        buckets add, gauges keep the maximum of value and high-water
+        mark (the only merge that is meaningful for a level)."""
+        if isinstance(snapshot, dict):
+            snapshot = MetricsSnapshot(snapshot)
+        for name, entry in snapshot.data.items():
+            kind = entry["kind"]
+            help_, unit = entry.get("help", ""), entry.get("unit", "")
+            for ls, state in entry["values"].items():
+                labels = dict(ls)
+                if kind == "counter":
+                    self.counter(name, help_, unit).inc(state, **labels)
+                elif kind == "gauge":
+                    cell = self.gauge(name, help_, unit).labels(**labels)
+                    cell.set(max(cell.value, state["value"]))
+                    cell.max = max(cell.max, state["max"])
+                elif kind == "histogram":
+                    hist = self.histogram(
+                        name, help_, unit, buckets=state["bounds"]
+                    )
+                    cell = hist.labels(**labels)
+                    if list(cell.bounds) != list(state["bounds"]):
+                        raise ValueError(
+                            f"histogram {name!r} bucket mismatch on merge"
+                        )
+                    for i, n in enumerate(state["buckets"]):
+                        cell.buckets[i] += n
+                    cell.count += state["count"]
+                    cell.sum += state["sum"]
+                    if state["count"]:
+                        cell.min = min(cell.min, state["min"])
+                        cell.max = max(cell.max, state["max"])
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+
+__all__ = [
+    "Counter",
+    "CounterCell",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "GaugeCell",
+    "Histogram",
+    "HistogramCell",
+    "MetricRegistry",
+    "MetricsSnapshot",
+]

@@ -1,0 +1,218 @@
+"""Live run monitoring and post-run metric summaries.
+
+A :class:`RunMonitor` samples a live backend's ``progress()`` dict on
+a background thread and renders one status line per sample -- tasks
+done/total, occupancy so far, and (when the static census is known)
+measured messages against the graph's predicted message count.  All
+three backends expose ``progress()``:
+
+* :class:`repro.runtime.engine.Engine` -- virtual-clock done/total
+  plus delivered messages;
+* :class:`repro.exec.executor.ThreadedExecutor` -- wall-clock
+  done/total, busy seconds and steal count;
+* :class:`repro.exec.procs.ProcessExecutor` -- node processes alive
+  (per-task progress lives inside the children).
+
+The monitor attaches through :func:`repro.core.runner.run`'s
+``on_executor`` hook, which fires just before the run starts::
+
+    mon = RunMonitor(interval=0.5)
+    result = run(problem, ..., on_executor=mon.attach)
+    mon.stop()
+
+or in one line via :func:`monitored_run`.  The CLI face is
+``repro monitor`` / ``repro stats`` (see :mod:`repro.cli`).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Any, Callable, TextIO
+
+from .metrics import MetricsSnapshot
+
+__all__ = ["RunMonitor", "monitored_run", "format_sample", "format_summary"]
+
+
+def format_sample(p: dict[str, Any], census_messages: int | None = None) -> str:
+    """One status line from one ``progress()`` dict.
+
+    Handles every backend's shape; unknown keys are ignored so the
+    monitor keeps working as backends grow richer progress reports.
+    """
+    parts: list[str] = []
+    elapsed = p.get("elapsed_s")
+    if elapsed is not None:
+        parts.append(f"t={elapsed:8.3f}s")
+    done, total = p.get("done"), p.get("total")
+    if done is not None and total:
+        parts.append(f"tasks {done}/{total} ({100.0 * done / total:5.1f}%)")
+    busy, workers = p.get("busy_s"), p.get("workers")
+    if busy is not None and workers and elapsed:
+        occ = busy / (elapsed * workers)
+        parts.append(f"occupancy {occ:.2f}")
+    if "steals" in p:
+        parts.append(f"steals {p['steals']}")
+    msgs = p.get("messages")
+    if msgs is not None:
+        if census_messages:
+            parts.append(f"msgs {msgs}/{census_messages} (census)")
+        else:
+            parts.append(f"msgs {msgs}")
+    if "procs_alive" in p:
+        parts.append(f"procs {p['procs_alive']}/{p.get('procs', '?')} alive")
+    return "  ".join(parts) if parts else "(no progress data)"
+
+
+class RunMonitor:
+    """Poll a live backend's ``progress()`` periodically.
+
+    ``attach(executor)`` is shaped to be passed directly as the
+    runner's ``on_executor`` callback: it remembers the target and
+    starts the sampling thread.  ``stop()`` halts sampling and takes
+    one final sample so short runs still record something.  Samples
+    accumulate in :attr:`samples`; when ``stream`` is given each is
+    also rendered there as it is taken.
+    """
+
+    def __init__(
+        self,
+        interval: float = 0.5,
+        stream: TextIO | None = None,
+        census_messages: int | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = interval
+        self.stream = stream
+        self.census_messages = census_messages
+        self.samples: list[dict[str, Any]] = []
+        self._target: Any = None
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    def attach(self, executor: Any) -> None:
+        """Start monitoring ``executor`` (anything with ``progress()``)."""
+        self._target = executor
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-monitor", daemon=True
+        )
+        self._thread.start()
+
+    def sample(self) -> dict[str, Any] | None:
+        """Take one sample now; returns it (or ``None`` if unavailable)."""
+        target = self._target
+        if target is None:
+            return None
+        try:
+            p = target.progress()
+        except Exception:
+            return None  # the run may be tearing down under us
+        self.samples.append(p)
+        if self.stream is not None:
+            print(format_sample(p, self.census_messages),
+                  file=self.stream, flush=True)
+        return p
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample()
+
+    def stop(self) -> None:
+        """Stop the sampler thread and take a final sample."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.sample()
+
+    def __enter__(self) -> "RunMonitor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+def monitored_run(
+    run_fn: Callable[..., Any],
+    *args: Any,
+    interval: float = 0.5,
+    stream: TextIO | None = None,
+    **kwargs: Any,
+):
+    """Call ``run_fn(*args, on_executor=..., **kwargs)`` under a live
+    monitor; returns ``(result, monitor)``.  ``stream`` defaults to
+    stderr so status lines never pollute piped stdout."""
+    monitor = RunMonitor(
+        interval=interval, stream=sys.stderr if stream is None else stream
+    )
+    try:
+        result = run_fn(*args, on_executor=monitor.attach, **kwargs)
+    finally:
+        monitor.stop()
+    return result, monitor
+
+
+def format_summary(
+    snapshot: MetricsSnapshot,
+    census_messages: int | None = None,
+    census_bytes: int | None = None,
+) -> str:
+    """Human-readable post-run summary of a metrics snapshot.
+
+    Shows the headline counters every backend publishes; the census
+    comparison defaults to the ``census_*`` gauges the runner records
+    in the same snapshot.
+    """
+    if census_messages is None:
+        census_messages = int(snapshot.gauge("census_messages")) or None
+    if census_bytes is None:
+        census_bytes = int(snapshot.gauge("census_message_bytes")) or None
+    lines: list[str] = []
+
+    def row(label: str, value: str) -> None:
+        lines.append(f"  {label:<28} {value}")
+
+    elapsed = snapshot.gauge("run_elapsed_seconds")
+    tasks = snapshot.counter("tasks_executed_total")
+    total = snapshot.gauge("tasks_total")
+    lines.append("run summary")
+    row("elapsed", f"{elapsed:.6f} s")
+    row("tasks executed", f"{tasks:.0f} of {total:.0f}")
+    for ls, count in sorted(snapshot.labelled("tasks_executed_total").items()):
+        label = dict(ls).get("kind", "?")
+        row(f"  kind={label}", f"{count:.0f}")
+    steals = snapshot.counter("tasks_stolen_total")
+    if steals:
+        row("tasks stolen", f"{steals:.0f}")
+    busy = snapshot.counter("worker_busy_seconds_total")
+    workers = snapshot.gauge("workers_per_node")
+    nodes = max(
+        1, len({dict(ls).get("node") for ls in
+                snapshot.labelled("worker_busy_seconds_total")} - {None}),
+    )
+    if busy and elapsed and workers:
+        row("worker busy", f"{busy:.6f} s")
+        row("occupancy", f"{busy / (elapsed * workers * nodes):.3f}")
+    msgs = snapshot.counter("messages_total")
+    if msgs or census_messages:
+        against = f" (census {census_messages})" if census_messages else ""
+        row("remote messages", f"{msgs:.0f}{against}")
+        mbytes = snapshot.counter("message_bytes_total")
+        against = f" (census {census_bytes})" if census_bytes else ""
+        row("remote payload bytes", f"{mbytes:.0f}{against}")
+    wire = snapshot.counter("wire_bytes_total")
+    if wire:
+        row("wire bytes (pickled)", f"{wire:.0f}")
+    hits = snapshot.counter("tuning_cache_hits_total")
+    misses = snapshot.counter("tuning_cache_misses_total")
+    if hits or misses:
+        rate = hits / (hits + misses)
+        row("tuning cache hit-rate", f"{rate:.2f} ({hits:.0f}/{hits + misses:.0f})")
+    trials = snapshot.counter("tuning_trials_total")
+    if trials:
+        row("tuning trials", f"{trials:.0f}")
+    return "\n".join(lines)

@@ -1,90 +1,14 @@
-"""Export traces to the Chrome trace-event format.
+"""Chrome trace-event export (compatibility alias).
 
-PaRSEC ships its profiling traces to visualisers; the nearest
-ubiquitous equivalent is the Chrome/Perfetto trace-event JSON (open
-``chrome://tracing`` or https://ui.perfetto.dev and load the file).
-Each simulated node becomes a process, each worker a thread (the
-communication thread is ``comm``), and every span a complete ('X')
-event with its kind as the name, so the Fig.-10 comparison can be
-explored interactively.
+The serializer moved to :mod:`repro.obs.export`, the unified telemetry
+exporter, so the simulator, the threads backend and the procs backend
+all serialize one way.  This module keeps the historical import path
+(``repro.runtime.chrome_trace.to_events`` / ``dumps`` / ``write``)
+alive for existing callers.
 """
 
 from __future__ import annotations
 
-import json
-from typing import Any
+from ..obs.export import dumps, to_events, write
 
-from .trace import Trace
-
-#: Microseconds per virtual second (trace events use microseconds).
-_US = 1e6
-
-#: Stable colour names from the trace-viewer palette per span kind.
-_COLORS = {
-    "interior": "thread_state_running",
-    "boundary": "thread_state_iowait",
-    "init": "startup",
-    "spmv": "thread_state_running",
-    "send": "rail_animation",
-    "recv": "rail_load",
-}
-
-
-def to_events(trace: Trace, time_scale: float = 1.0) -> list[dict[str, Any]]:
-    """Convert spans to trace-event dicts.
-
-    ``time_scale`` stretches virtual time (useful when spans are
-    nanoseconds-short and the viewer rounds them away).
-    """
-    if time_scale <= 0:
-        raise ValueError("time_scale must be positive")
-    events: list[dict[str, Any]] = []
-    seen_threads: set[tuple[int, int]] = set()
-    for span in trace.spans:
-        tid = span.worker if span.worker >= 0 else 9999
-        key = (span.node, tid)
-        if key not in seen_threads:
-            seen_threads.add(key)
-            events.append({
-                "ph": "M",
-                "name": "thread_name",
-                "pid": span.node,
-                "tid": tid,
-                "args": {"name": "comm" if span.worker < 0 else f"worker {span.worker}"},
-            })
-        event = {
-            "ph": "X",
-            "name": span.kind,
-            "cat": "task" if span.worker >= 0 else "comm",
-            "pid": span.node,
-            "tid": tid,
-            "ts": span.start * _US * time_scale,
-            "dur": span.duration * _US * time_scale,
-        }
-        if span.label is not None:
-            event["args"] = {"label": repr(span.label)}
-        color = _COLORS.get(span.kind)
-        if color:
-            event["cname"] = color
-        events.append(event)
-    for node in sorted({s.node for s in trace.spans}):
-        events.append({
-            "ph": "M",
-            "name": "process_name",
-            "pid": node,
-            "args": {"name": f"node {node}"},
-        })
-    return events
-
-
-def dumps(trace: Trace, time_scale: float = 1.0) -> str:
-    """The complete trace JSON document as a string."""
-    return json.dumps(
-        {"traceEvents": to_events(trace, time_scale), "displayTimeUnit": "ms"}
-    )
-
-
-def write(trace: Trace, path: str, time_scale: float = 1.0) -> None:
-    """Write the trace to ``path`` (open it in chrome://tracing)."""
-    with open(path, "w") as fh:
-        fh.write(dumps(trace, time_scale))
+__all__ = ["dumps", "to_events", "write"]

@@ -35,6 +35,7 @@ class TaskGraph:
         #: producer key -> tags it must produce (declared + consumed)
         self.out_tags: dict[TaskKey, tuple[str, ...]] = {}
         self._finalized = False
+        self._census: EdgeCensus | None = None
 
     # -- construction --------------------------------------------------
 
@@ -126,22 +127,44 @@ class TaskGraph:
         PaRSEC); a local edge is a same-node flow."""
         if not self._finalized:
             raise GraphError("finalize() the graph before analysing it")
+        if self._census is not None:  # immutable once finalized
+            return self._census
         census = EdgeCensus()
         # A message's payload is the largest size any party declared for
         # it: consumer flow sizes or the producer's out_nbytes (the
-        # engine uses the same rule).
+        # engine uses the same rule).  This runs once per run when
+        # telemetry is on, so the loop stays allocation-light.
         msg_sizes: dict[tuple[TaskKey, str, int], int] = {}
-        for task in self.tasks.values():
+        tasks = self.tasks
+        local_edges = local_bytes = 0
+        for task in tasks.values():
+            node = task.node
             for flow in task.inputs:
-                producer = self.tasks[flow.producer]
-                if producer.node == task.node:
-                    census.add_local(flow.nbytes)
+                producer = tasks[flow.producer]
+                nbytes = flow.nbytes
+                if producer.node == node:
+                    local_edges += 1
+                    local_bytes += nbytes
                 else:
-                    key = (flow.producer, flow.tag, task.node)
+                    key = (flow.producer, flow.tag, node)
                     declared = producer.out_nbytes.get(flow.tag, 0)
-                    msg_sizes[key] = max(msg_sizes.get(key, 0), flow.nbytes, declared)
+                    if declared > nbytes:
+                        nbytes = declared
+                    prev = msg_sizes.get(key)
+                    if prev is None or nbytes > prev:
+                        msg_sizes[key] = nbytes
+        census.local_edges = local_edges
+        census.local_bytes = local_bytes
+        by_pair = census.by_pair
+        remote_bytes = 0
         for (producer_key, _tag, dst), nbytes in msg_sizes.items():
-            census.add_remote(self.tasks[producer_key].node, dst, nbytes)
+            remote_bytes += nbytes
+            pair = (tasks[producer_key].node, dst)
+            msgs, byts = by_pair.get(pair, (0, 0))
+            by_pair[pair] = (msgs + 1, byts + nbytes)
+        census.remote_messages = len(msg_sizes)
+        census.remote_bytes = remote_bytes
+        self._census = census
         return census
 
     def total_flops(self) -> tuple[float, float]:

@@ -97,10 +97,17 @@ POLICIES = {
 
 
 def make_queue(policy: str) -> ReadyQueue:
-    """Instantiate a ready queue by policy name."""
+    """Instantiate a ready queue by policy name.
+
+    The queues stay uninstrumented even under telemetry: the engine
+    derives push counts from the graph after the run and tracks the
+    depth high-water mark itself, so the scheduling hot path is
+    identical with and without a metrics registry attached.
+    """
     try:
-        return POLICIES[policy.lower()]()
+        queue = POLICIES[policy.lower()]()
     except KeyError:
         raise KeyError(
             f"unknown scheduler policy {policy!r}; choices: {sorted(POLICIES)}"
         ) from None
+    return queue

@@ -109,6 +109,34 @@ class Trace:
         busy = sum(s.duration for s in self.spans if s.node == node and s.worker >= 0)
         return busy / (workers * horizon)
 
+    #: Span kinds that may legally occupy a comm lane (worker < 0).
+    COMM_KINDS = frozenset({"send", "recv"})
+
+    def validate(self) -> None:
+        """Structural sanity of the whole trace; raises ``ValueError``
+        on the first violation.  Checks:
+
+        * no negative durations (defence in depth -- :class:`Span`
+          rejects them at construction too);
+        * spans on each (node, worker) lane are monotonic: a worker is
+          a serial resource, so sorted-by-start spans must not overlap;
+        * comm lanes (worker ``-1``, ``-2``, ...) carry communication
+          kinds only (``send`` / ``recv``) -- a compute kind on a comm
+          lane means a backend merged its spans into the wrong lane.
+
+        The engine and both real backends call this after a traced run
+        when the ``REPRO_DEBUG_TRACE`` debug flag is set.
+        """
+        for s in self.spans:
+            if s.duration < 0:
+                raise ValueError(f"negative-duration span: {s}")
+            if s.worker < 0 and s.kind not in self.COMM_KINDS:
+                raise ValueError(
+                    f"compute kind {s.kind!r} recorded on comm lane "
+                    f"{s.worker} of node {s.node}: {s}"
+                )
+        self.validate_no_overlap()
+
     def validate_no_overlap(self) -> None:
         """Assert that no two spans overlap on the same (node, worker)
         -- a worker is a serial resource.  Raises ``ValueError`` on

@@ -211,6 +211,7 @@ def tune(
     jobs: int | None = None,
     force: bool = False,
     run_kwargs: dict | None = None,
+    metrics=None,
 ) -> TuningResult:
     """Find the best (tile, steps, policy, ...) within ``budget`` runs.
 
@@ -221,7 +222,9 @@ def tune(
     the default store or ``False`` to disable persistence; a warm
     cache returns immediately with zero runs unless ``force`` is set.
     ``run_kwargs`` (e.g. ``{"ratio": 0.2}``) are forwarded to every
-    evaluation and folded into the cache key.
+    evaluation and folded into the cache key.  ``metrics`` accepts a
+    :class:`repro.obs.MetricRegistry`; the tuner then counts cache
+    hits/misses and every budgeted trial by backend and status.
     """
     machine = machine or nacl(4)
     if impl not in ("base-parsec", "ca-parsec"):
@@ -247,6 +250,12 @@ def tune(
 
     if store is not None and not force:
         entry = store.get(machine, problem, backend, impl, extra)
+        if metrics is not None:
+            name = ("tuning_cache_hits_total" if entry is not None
+                    else "tuning_cache_misses_total")
+            metrics.counter(
+                name, help="tuning-cache lookups by outcome"
+            ).inc()
         if entry is not None:
             return TuningResult(
                 impl=impl, backend=backend, machine=machine, problem=problem,
@@ -309,6 +318,11 @@ def tune(
                 trials.append(trial)
                 budget_left -= 1
                 used += 1
+                if metrics is not None:
+                    metrics.counter(
+                        "tuning_trials_total",
+                        help="budgeted tuning evaluations by backend/status",
+                    ).inc(backend=bend, status=trial.status)
             if trial.ok:
                 best_score[cand] = trial.gflops
                 scored.append((trial.gflops, cand))
@@ -385,6 +399,7 @@ def resolve_auto(
     seed: int = 0,
     timeout: float | None = None,
     jobs: int | None = None,
+    metrics=None,
 ) -> tuple[int, int, dict]:
     """Turn ``tile="auto"`` / ``steps="auto"`` into concrete values.
 
@@ -409,6 +424,12 @@ def resolve_auto(
 
     if store is not None:
         entry = store.get(machine, problem, backend, impl)
+        if metrics is not None:
+            name = ("tuning_cache_hits_total" if entry is not None
+                    else "tuning_cache_misses_total")
+            metrics.counter(
+                name, help="tuning-cache lookups by outcome"
+            ).inc()
         if entry is not None:
             cand = store.candidate_of(entry)
             if (fixed_tile in (None, cand.tile)
@@ -431,7 +452,7 @@ def resolve_auto(
             problem, impl=impl, machine=machine, backend=backend,
             budget=budget, space=space,
             cache=False if (pinned or store is None) else store,
-            seed=seed, timeout=timeout, jobs=jobs,
+            seed=seed, timeout=timeout, jobs=jobs, metrics=metrics,
         )
         return result.winner.tile, result.winner.steps, {
             "source": result.source, "result": result,

@@ -1,0 +1,121 @@
+"""The unified exporters and the debug-mode trace validator.
+
+``obs/export.py`` is the single serializer behind the Chrome viewer,
+JSON-lines logs, OTel-style span documents and Prometheus exposition;
+``Trace.validate()`` is the debug gate (``REPRO_DEBUG_TRACE``) the
+engine and both real backends run after a traced run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import DEBUG_TRACE_ENV, MetricRegistry, trace_validation_enabled
+from repro.obs.export import (
+    build_trace,
+    metrics_jsonl,
+    prometheus_text,
+    spans_jsonl,
+    to_otel,
+)
+from repro.runtime import chrome_trace
+from repro.runtime.trace import Trace
+
+
+def _trace() -> Trace:
+    return build_trace([
+        (0, 1, "boundary", 0.5, 1.0, ("b", 0)),
+        (0, 0, "interior", 0.0, 1.0, ("i", 0)),
+        (0, -1, "send", 1.0, 1.25, ("msg", 1)),
+        (1, -2, "recv", 1.1, 1.3, ("msg", 1)),
+    ])
+
+
+def test_build_trace_sorts_by_start():
+    trace = _trace()
+    assert [s.start for s in trace.spans] == [0.0, 0.5, 1.0, 1.1]
+    assert trace.makespan() == pytest.approx(1.3)
+
+
+def test_chrome_trace_module_is_an_alias():
+    # the old import path keeps working and produces the same events
+    assert chrome_trace.to_events is not None
+    events = chrome_trace.to_events(_trace())
+    assert any(e.get("ph") == "X" for e in events)
+    doc = json.loads(chrome_trace.dumps(_trace()))
+    assert doc["traceEvents"]
+
+
+def test_otel_document_shape_and_determinism():
+    doc = to_otel(_trace(), service_name="repro-test")
+    scope_spans = doc["resourceSpans"][0]["scopeSpans"][0]["spans"]
+    assert len(scope_spans) == 4
+    for span in scope_spans:
+        assert len(span["spanId"]) == 16
+        assert len(span["traceId"]) == 32
+        assert int(span["endTimeUnixNano"]) >= int(span["startTimeUnixNano"])
+    attrs = doc["resourceSpans"][0]["resource"]["attributes"]
+    assert {"key": "service.name",
+            "value": {"stringValue": "repro-test"}} in attrs
+    # same trace, same ids: the export is reproducible
+    assert to_otel(_trace(), service_name="repro-test") == doc
+
+
+def test_prometheus_exposition():
+    reg = MetricRegistry()
+    reg.counter("messages_total", help="msgs", unit="messages").inc(
+        7, src=0, dst=1)
+    reg.gauge("backlog").set(3)
+    reg.histogram("dur_seconds", buckets=(0.1, 1.0)).observe(0.5)
+    text = prometheus_text(reg.snapshot())
+    assert "# TYPE messages_total counter" in text
+    assert 'messages_total{dst="1",src="0"} 7' in text
+    assert "backlog 3" in text
+    assert 'dur_seconds_bucket{le="+Inf"} 1' in text
+    assert "dur_seconds_count 1" in text
+
+
+def test_jsonl_round_trip():
+    lines = spans_jsonl(_trace()).splitlines()
+    assert len(lines) == 4
+    assert json.loads(lines[0])["kind"] == "interior"
+    reg = MetricRegistry()
+    reg.counter("n_total").inc(2)
+    (line,) = metrics_jsonl(reg.snapshot()).splitlines()
+    assert json.loads(line) == {"metric": "n_total", "kind": "counter",
+                                "unit": "", "labels": {}, "value": 2}
+
+
+# ---------------------------------------------------------------------------
+# Trace.validate()
+# ---------------------------------------------------------------------------
+
+
+def test_validate_accepts_well_formed_trace():
+    _trace().validate()
+
+
+def test_validate_rejects_compute_kind_on_comm_lane():
+    bad = Trace()
+    bad.record(0, -1, "interior", 0.0, 1.0)
+    with pytest.raises(ValueError, match="comm lane"):
+        bad.validate()
+
+
+def test_validate_rejects_overlapping_worker_spans():
+    bad = Trace()
+    bad.record(0, 0, "interior", 0.0, 1.0)
+    bad.record(0, 0, "interior", 0.5, 1.5)
+    with pytest.raises(ValueError):
+        bad.validate()
+
+
+def test_debug_flag_gating(monkeypatch):
+    monkeypatch.delenv(DEBUG_TRACE_ENV, raising=False)
+    assert not trace_validation_enabled()
+    monkeypatch.setenv(DEBUG_TRACE_ENV, "0")
+    assert not trace_validation_enabled()
+    monkeypatch.setenv(DEBUG_TRACE_ENV, "1")
+    assert trace_validation_enabled()

@@ -1,0 +1,140 @@
+"""The perf-regression gate: pass / fail / tolerance paths.
+
+Synthetic baselines pin :func:`repro.obs.regress.compare`'s contract;
+the CLI tests then drive the real loop the CI ``regression-gate`` job
+uses: record an obs-baseline with ``repro stats --write-baseline``,
+re-check it cleanly (exit 0), tamper the recorded makespan by more
+than the tolerance and check again (exit 1).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import regress
+
+# ---------------------------------------------------------------------------
+# pure comparison semantics
+# ---------------------------------------------------------------------------
+
+
+def test_direction_classification():
+    assert regress.direction("makespan_s") == "lower"
+    assert regress.direction("messages") == "lower"
+    assert regress.direction("fig6_nacl.runs_used") == "lower"
+    assert regress.direction("gflops") == "higher"
+    assert regress.direction("occupancy") == "higher"
+    assert regress.direction("tuning_cache_hit_rate") == "higher"
+    # config knobs and timestamps are informational, never gated
+    assert regress.direction("winner_tile") is None
+    assert regress.direction("budget") is None
+    assert regress.direction("unix_time") is None
+    assert regress.direction("paper_range") is None
+
+
+def test_flatten_nested_numeric_leaves():
+    doc = {"a": {"x": 1, "flag": True, "s": "text"}, "b": 2.5,
+           "c": {"d": {"e": 3}}}
+    assert regress.flatten(doc) == {"a.x": 1.0, "b": 2.5, "c.d.e": 3.0}
+
+
+def test_compare_passes_identical_and_improved():
+    base = {"makespan_s": 1.0, "gflops": 10.0}
+    assert regress.compare(base, dict(base)).ok
+    # improvements in either direction never fail
+    assert regress.compare(base, {"makespan_s": 0.5, "gflops": 20.0}).ok
+
+
+def test_compare_fails_beyond_tolerance():
+    base = {"makespan_s": 1.0, "gflops": 10.0}
+    slow = regress.compare(base, {"makespan_s": 1.2, "gflops": 10.0})
+    assert not slow.ok
+    assert [c.name for c in slow.failures] == ["makespan_s"]
+    assert slow.failures[0].change == pytest.approx(0.2)
+    weak = regress.compare(base, {"makespan_s": 1.0, "gflops": 8.0})
+    assert not weak.ok and weak.failures[0].name == "gflops"
+
+
+def test_compare_tolerance_widens_and_overrides():
+    base = {"makespan_s": 1.0}
+    measured = {"makespan_s": 1.2}
+    assert not regress.compare(base, measured, tolerance=0.10).ok
+    assert regress.compare(base, measured, tolerance=0.25).ok
+    assert regress.compare(base, measured, tolerance=0.10,
+                           tolerances={"makespan_s": 0.3}).ok
+    with pytest.raises(ValueError):
+        regress.compare(base, measured, tolerance=-0.1)
+
+
+def test_compare_edge_cases():
+    # within-tolerance drift passes (boundary is inclusive)
+    assert regress.compare({"makespan_s": 1.0}, {"makespan_s": 1.1}).ok
+    # zero baseline: any growth of a lower-better metric is infinite drift
+    report = regress.compare({"messages": 0.0}, {"messages": 5.0})
+    assert not report.ok
+    assert report.failures[0].change == float("inf")
+    assert regress.compare({"messages": 0.0}, {"messages": 0.0}).ok
+    # gated-but-unmeasured keys warn instead of failing
+    report = regress.compare({"gflops": 10.0, "tile": 64}, {})
+    assert report.ok
+    assert report.missing == ["gflops"]
+    assert report.skipped == ["tile"]
+    assert "PASS" in report.format()
+
+
+def test_load_baseline_both_document_kinds(tmp_path):
+    obs_doc = {"kind": regress.BASELINE_KIND, "schema": 1,
+               "config": {"n": 128}, "metrics": {"gflops": 5.0}}
+    p1 = tmp_path / "obs.json"
+    p1.write_text(json.dumps(obs_doc))
+    assert regress.load_baseline(p1) == {"gflops": 5.0}
+    bench_doc = {"fig6": {"winner_gflops": 10.0, "unix_time": 1.0}}
+    p2 = tmp_path / "bench.json"
+    p2.write_text(json.dumps(bench_doc))
+    flat = regress.load_baseline(p2)
+    assert flat["fig6.winner_gflops"] == 10.0
+    p3 = tmp_path / "bad.json"
+    p3.write_text("[1, 2]")
+    with pytest.raises(ValueError):
+        regress.load_baseline(p3)
+
+
+# ---------------------------------------------------------------------------
+# the CLI loop the CI job drives
+# ---------------------------------------------------------------------------
+
+STATS_FLAGS = ["--n", "96", "--iterations", "4", "--tile", "24",
+               "--steps", "2", "--nodes", "2"]
+
+
+def test_stats_check_clean_rerun_passes(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main(["stats", *STATS_FLAGS,
+                 "--write-baseline", str(baseline)]) == 0
+    assert main(["stats", "--check", str(baseline)]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_stats_check_injected_regression_fails(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main(["stats", *STATS_FLAGS,
+                 "--write-baseline", str(baseline)]) == 0
+    doc = json.loads(baseline.read_text())
+    # pretend the recorded run was >=10% faster: the fresh (identical)
+    # run now reads as an injected makespan regression
+    doc["metrics"]["makespan_s"] *= 1 / 1.15
+    baseline.write_text(json.dumps(doc))
+    assert main(["stats", "--check", str(baseline)]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL makespan_s" in out
+    assert "REGRESSION" in out
+
+
+def test_stats_summary_reports_census(capsys):
+    assert main(["stats", *STATS_FLAGS]) == 0
+    out = capsys.readouterr().out
+    assert "tasks executed" in out
+    assert "(census" in out
