@@ -22,6 +22,16 @@ DEFAULT_GLYPHS = {
 }
 IDLE = "."
 
+#: Glyph per critical-path blame category (the ``crit`` overlay row).
+CRIT_GLYPHS = {
+    "compute": "#",
+    "comm": "X",
+    "wire": "~",
+    "queue": "-",
+    "comm-queue": "=",
+    "startup": " ",
+}
+
 
 def render_gantt(
     trace: Trace,
@@ -29,12 +39,17 @@ def render_gantt(
     width: int = 100,
     glyphs: dict[str, str] | None = None,
     include_comm: bool = True,
+    critpath=None,
 ) -> str:
     """Render one node's lanes over the trace's makespan.
 
     Each lane shows, per bucket, the kind that occupied the most time
     in that bucket (idle if nothing ran).  The communication thread is
-    the lane labelled ``comm``.
+    the lane labelled ``comm``.  Passing a
+    :class:`repro.obs.critpath.CritPathReport` as ``critpath`` adds a
+    ``crit`` overlay row on top, one blame glyph per bucket
+    (:data:`CRIT_GLYPHS`), so the makespan-deciding chain lines up
+    visually with the worker activity below it.
     """
     if width < 1:
         raise ValueError("width must be >= 1")
@@ -58,6 +73,21 @@ def render_gantt(
             if hi > lo:
                 lane[b][span.kind] = lane[b].get(span.kind, 0.0) + (hi - lo)
     lines = []
+    if critpath is not None and critpath.segments:
+        weights: list[dict[str, float]] = [dict() for _ in range(width)]
+        for seg in critpath.segments:
+            first = int(seg.start / bucket)
+            last = min(width - 1, int(seg.end / bucket))
+            for b in range(first, last + 1):
+                lo = max(seg.start, b * bucket)
+                hi = min(seg.end, (b + 1) * bucket)
+                if hi > lo:
+                    weights[b][seg.blame] = weights[b].get(seg.blame, 0.0) + (hi - lo)
+        row = "".join(
+            CRIT_GLYPHS.get(max(cell, key=cell.get), "?") if cell else IDLE
+            for cell in weights
+        )
+        lines.append(f" crit |{row}|")
     for worker in sorted(lanes, reverse=False):
         row = []
         for cell in lanes[worker]:
@@ -80,3 +110,8 @@ def render_gantt(
 def legend() -> str:
     """Human-readable glyph legend for rendered charts."""
     return ", ".join(f"{g} = {k}" for k, g in DEFAULT_GLYPHS.items()) + f", {IDLE} = idle"
+
+
+def crit_legend() -> str:
+    """Glyph legend for the critical-path overlay row."""
+    return ", ".join(f"{g} = {k}" for k, g in CRIT_GLYPHS.items() if g.strip())

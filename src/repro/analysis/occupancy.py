@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..runtime.trace import Trace, idle_fraction_timeline, kind_statistics
+from ..runtime.trace import Trace, idle_fraction_timeline, kind_statistics, median
 
 
 @dataclass(frozen=True)
@@ -43,24 +43,15 @@ def occupancy_report(trace: Trace, node: int, workers: int) -> OccupancyReport:
     """Summarise one node's compute-worker activity."""
     spans = [s for s in trace.compute_spans() if s.node == node]
     durations = sorted(s.duration for s in spans)
-
-    def _median(values: list[float]) -> float:
-        if not values:
-            return 0.0
-        mid = len(values) // 2
-        if len(values) % 2:
-            return values[mid]
-        return 0.5 * (values[mid - 1] + values[mid])
-
     boundary = sorted(s.duration for s in spans if s.kind == "boundary")
     interior = sorted(s.duration for s in spans if s.kind == "interior")
     return OccupancyReport(
         node=node,
         workers=workers,
         occupancy=trace.occupancy(node, workers),
-        median_task_s=_median(durations),
-        median_boundary_s=_median(boundary),
-        median_interior_s=_median(interior),
+        median_task_s=median(durations),
+        median_boundary_s=median(boundary),
+        median_interior_s=median(interior),
         mean_task_s=sum(durations) / len(durations) if durations else 0.0,
         mean_boundary_s=sum(boundary) / len(boundary) if boundary else 0.0,
         busy_s=sum(durations),
@@ -142,3 +133,13 @@ def compare_occupancy(
 def kind_summary(trace: Trace) -> list[tuple[str, int, float, float]]:
     """(kind, count, total_s, median_s) rows, biggest first."""
     return [(k.kind, k.count, k.total, k.median) for k in kind_statistics(trace)]
+
+
+def critpath_blame_shares(trace: Trace, graph=None) -> dict[str, float]:
+    """Blame shares of the executed critical path -- the causal
+    complement of occupancy: occupancy says how busy the workers were,
+    this says what the *makespan-determining chain* was spent on.
+    Returns ``{blame: fraction of makespan}``."""
+    from ..obs.critpath import critical_path
+
+    return critical_path(trace, graph).blame_shares()

@@ -21,6 +21,13 @@ Gives the library's main entry points a shell-friendly face:
   Prometheus/JSONL/OTel exports, baseline recording
   (``--write-baseline``) and the perf-regression gate (``--check``,
   exit 1 on regression; see ``docs/observability.md``);
+* ``critpath`` -- causal critical-path analysis of one traced run:
+  per-segment blame (compute / comm / wire / queue), stragglers,
+  worker imbalance, flamegraph and highlighted Chrome-trace exports;
+* ``trace-diff`` -- run two implementations on the same problem and
+  report where the time moved (defaults to the Fig.-10 base-vs-CA
+  configuration; ``--assert-comm-drop`` exits 1 unless CA shows a
+  strictly lower communication share of critical-path time);
 * ``validate`` -- the cross-implementation equivalence check;
 * ``machines`` -- list the machine presets with their parameters.
 """
@@ -214,6 +221,59 @@ def _add_stats_parser(sub: argparse._SubParsersAction) -> None:
                    help="write OTel-style span export (implies tracing)")
 
 
+def _add_critpath_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "critpath",
+        help="causal critical-path analysis of one traced run "
+             "(blame, slack, stragglers, flamegraph)",
+    )
+    _add_obs_run_flags(p)
+    p.add_argument("--segments", type=int, default=5,
+                   help="longest critical-path segments to list")
+    p.add_argument("--gantt", action="store_true",
+                   help="render the Gantt chart with the critical-path "
+                        "overlay row")
+    p.add_argument("--flame-out", default=None, metavar="FILE.folded",
+                   help="write collapsed stacks (trace + critical path) "
+                        "for flamegraph.pl / speedscope")
+    p.add_argument("--trace-out", default=None, metavar="FILE.json",
+                   help="write a Chrome trace with the critical-path "
+                        "highlight lane")
+
+
+def _add_trace_diff_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "trace-diff",
+        help="run two implementations and report where the time moved "
+             "(defaults to the Fig.-10 base-vs-CA configuration)",
+    )
+    p.add_argument("--impl-a", choices=IMPLEMENTATIONS, default="base-parsec")
+    p.add_argument("--impl-b", choices=IMPLEMENTATIONS, default="ca-parsec")
+    p.add_argument("--machine", default="nacl", help="machine preset name")
+    p.add_argument("--nodes", type=int, default=16)
+    p.add_argument("--n", type=int, default=23040, help="grid edge length")
+    p.add_argument("--iterations", type=int, default=8)
+    p.add_argument("--tile", type=int, default=288)
+    p.add_argument("--steps", type=int, default=15, help="CA step size")
+    p.add_argument("--ratio", type=float, default=0.2,
+                   help="kernel adjustment ratio (the paper's profiled "
+                        "run is comm-bound)")
+    p.add_argument("--policy", default="priority",
+                   choices=("priority", "fifo", "lifo"))
+    p.add_argument("--backend", choices=BACKENDS, default="sim")
+    p.add_argument("--jobs", type=int, default=None)
+    p.add_argument("--procs", type=int, default=None)
+    p.add_argument("--top", type=int, default=5,
+                   help="task movers to list")
+    p.add_argument("--assert-comm-drop", action="store_true",
+                   help="exit 1 unless run B shows a strictly lower "
+                        "communication share of critical-path time")
+    p.add_argument("--flame-out-a", default=None, metavar="FILE.folded",
+                   help="write run A's collapsed stacks")
+    p.add_argument("--flame-out-b", default=None, metavar="FILE.folded",
+                   help="write run B's collapsed stacks")
+
+
 def _add_experiment_parser(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("id", help="experiment id (use 'list' to enumerate)")
@@ -241,6 +301,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_parser(sub)
     _add_monitor_parser(sub)
     _add_stats_parser(sub)
+    _add_critpath_parser(sub)
+    _add_trace_diff_parser(sub)
     _add_experiment_parser(sub)
     _add_validate_parser(sub)
     sub.add_parser("machines", help="list machine presets")
@@ -492,10 +554,20 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(report.format())
         return 0 if report.ok else 1
 
-    result = _instrumented_run(args, want_trace=args.otel_out is not None)
+    # Always trace: the causal critical-path gauges (critpath ratio,
+    # comm share, per-blame seconds) need spans, and the summary's
+    # top-segment lines come straight from the analysis.
+    result = _instrumented_run(args, want_trace=True)
     snapshot = result.metrics
     print(result.summary())
     print(format_summary(snapshot))
+    crit = result.critpath()
+    print("  top critical-path segments")
+    for seg in crit.top_segments(3):
+        what = seg.kind or seg.blame
+        task = f"  task {seg.task_id!r}" if seg.task_id is not None else ""
+        print(f"    {seg.duration:.6g} s  {seg.blame:<10} {what:<10} "
+              f"node {seg.node} worker {seg.worker}{task}")
     if args.prom_out:
         from .obs.export import write_prometheus
 
@@ -515,6 +587,83 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         regress.write_baseline(args.write_baseline,
                                regress.baseline_doc(result))
         print(f"baseline written to {args.write_baseline}")
+    return 0
+
+
+def _cmd_critpath(args: argparse.Namespace) -> int:
+    result = _instrumented_run(args, want_trace=True)
+    report = result.critpath()
+    print(result.summary())
+    print(report.format())
+    if args.segments > 3:  # format() already shows the top 3
+        extra = report.top_segments(args.segments)[3:]
+        for seg in extra:
+            what = seg.kind or seg.blame
+            print(f"    {seg.duration:.6g} s  {seg.blame:<10} {what:<10} "
+                  f"node {seg.node} worker {seg.worker}")
+    if args.gantt:
+        from .analysis.gantt import crit_legend, render_gantt
+
+        print(render_gantt(result.trace, 0, critpath=report))
+        print(f"crit row: {crit_legend()}")
+    if args.flame_out:
+        from .obs.export import write_flamegraph
+
+        write_flamegraph(args.flame_out, trace=result.trace, critpath=report)
+        print(f"collapsed stacks written to {args.flame_out}")
+    if args.trace_out:
+        from .obs import export
+
+        export.write(result.trace, args.trace_out, critpath=report)
+        print(f"trace with critical-path lane written to {args.trace_out}")
+    return 0
+
+
+def _run_diff_side(args: argparse.Namespace, impl: str):
+    machine = preset(args.machine, nodes=args.nodes)
+    problem = JacobiProblem(n=args.n, iterations=args.iterations)
+    kwargs = dict(impl=impl, machine=machine, policy=args.policy,
+                  backend=args.backend, jobs=args.jobs, trace=True)
+    if args.backend == "processes":
+        kwargs["procs"] = args.procs
+    if impl != "petsc":
+        kwargs.update(tile=args.tile, steps=args.steps, ratio=args.ratio)
+    return run(problem, **kwargs)
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    from .obs.diff import diff_results
+
+    result_a = _run_diff_side(args, args.impl_a)
+    result_b = _run_diff_side(args, args.impl_b)
+    diff = diff_results(result_a, result_b,
+                        label_a=args.impl_a, label_b=args.impl_b)
+    print(result_a.summary())
+    print(result_b.summary())
+    print(diff.format(top=args.top))
+    if args.flame_out_a or args.flame_out_b:
+        from .obs.export import write_flamegraph
+
+        if args.flame_out_a:
+            write_flamegraph(args.flame_out_a, trace=result_a.trace,
+                             critpath=diff.critpath_a)
+            print(f"{args.impl_a} collapsed stacks written to "
+                  f"{args.flame_out_a}")
+        if args.flame_out_b:
+            write_flamegraph(args.flame_out_b, trace=result_b.trace,
+                             critpath=diff.critpath_b)
+            print(f"{args.impl_b} collapsed stacks written to "
+                  f"{args.flame_out_b}")
+    if args.assert_comm_drop:
+        drop = diff.comm_share_drop
+        if drop > 0:
+            print(f"OK: {args.impl_b} puts {drop:.1%} less communication "
+                  f"on the critical path than {args.impl_a}")
+        else:
+            print(f"FAIL: {args.impl_b} does not lower the communication "
+                  f"share of critical-path time ({-drop:+.1%} vs "
+                  f"{args.impl_a})", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -562,8 +711,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     elif args.id == "fig10":
         exp = module.capture()
         print(format_table(module.HEADERS, module.rows(exp)))
-        print(exp.gantt("base"))
-        print(exp.gantt("ca"))
+        print(exp.gantt("base", critpath=True))
+        print(exp.gantt("ca", critpath=True))
+        print(module.causal_summary(exp))
     elif args.id == "headlines":
         h = module.compute()
         print(format_table(module.HEADERS, module.rows(h)))
@@ -610,6 +760,8 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "monitor": _cmd_monitor,
         "stats": _cmd_stats,
+        "critpath": _cmd_critpath,
+        "trace-diff": _cmd_trace_diff,
         "experiment": _cmd_experiment,
         "validate": _cmd_validate,
         "machines": _cmd_machines,

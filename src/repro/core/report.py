@@ -9,6 +9,7 @@ import numpy as np
 
 from ..machine.machine import MachineSpec
 from ..runtime.engine import EngineReport
+from ..runtime.graph import TaskGraph
 from ..runtime.trace import Trace
 from ..stencil.problem import JacobiProblem
 
@@ -31,6 +32,10 @@ class RunResult:
     engine: EngineReport
     params: dict[str, Any] = field(default_factory=dict)
     grid: np.ndarray | None = None
+    #: The executed task graph, kept so causal analyses (critical
+    #: path, trace diffing) can join the trace back onto its
+    #: dependencies without rebuilding the graph.
+    graph: TaskGraph | None = None
 
     @property
     def elapsed(self) -> float:
@@ -88,6 +93,19 @@ class RunResult:
             else self.machine.node.cores
         )
         return self.engine.occupancy(workers)
+
+    def critpath(self):
+        """Causal critical-path analysis of the traced run: a
+        :class:`repro.obs.critpath.CritPathReport` with per-segment
+        blame, slack, stragglers and worker imbalance.  Requires the
+        run to have been traced (``trace=True``)."""
+        if self.trace is None:
+            raise ValueError(
+                "run has no trace; pass trace=True to analyse its critical path"
+            )
+        from ..obs.critpath import critical_path
+
+        return critical_path(self.trace, self.graph)
 
     def speedup_over(self, other: "RunResult") -> float:
         """How much faster this run is than ``other`` (elapsed ratio)."""

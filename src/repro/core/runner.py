@@ -52,6 +52,20 @@ def default_tile(problem: JacobiProblem, machine: MachineSpec) -> int:
     return max(1, min(guess, 1024))
 
 
+def _publish_critpath(metrics, report, graph) -> None:
+    """When a run was both instrumented and traced, mirror its causal
+    critical-path analysis into the registry (critpath_seconds,
+    critpath_ratio, critpath_comm_share, per-blame seconds) and refresh
+    the report's snapshot so ``result.metrics`` carries the gauges the
+    regression gate tracks."""
+    if metrics is None or getattr(report, "trace", None) is None:
+        return
+    from ..obs.critpath import critical_path, publish_critpath_metrics
+
+    publish_critpath_metrics(metrics, critical_path(report.trace, graph))
+    report.metrics = metrics.snapshot()
+
+
 def run(
     problem: JacobiProblem,
     impl: str = "base-parsec",
@@ -219,6 +233,7 @@ def run(
         if on_executor is not None:
             on_executor(executor)
         report = executor.run()
+        _publish_critpath(metrics, report, built.graph)
         params.update(backend="threads", jobs=executor.jobs)
         grid = built.assemble_grid(report.results)
         return RunResult(
@@ -228,6 +243,7 @@ def run(
             engine=report,
             params=params,
             grid=grid,
+            graph=built.graph,
         )
 
     if backend == "processes":
@@ -240,6 +256,7 @@ def run(
         if on_executor is not None:
             on_executor(executor)
         report = executor.run()
+        _publish_critpath(metrics, report, built.graph)
         params.update(backend="processes", procs=executor.procs, jobs=executor.jobs)
         grid = built.assemble_grid(report.results)
         return RunResult(
@@ -249,6 +266,7 @@ def run(
             engine=report,
             params=params,
             grid=grid,
+            graph=built.graph,
         )
 
     engine = Engine(
@@ -263,6 +281,7 @@ def run(
     if on_executor is not None:
         on_executor(engine)
     report = engine.run()
+    _publish_critpath(metrics, report, built.graph)
     grid = built.assemble_grid(report.results) if with_kernels else None
     return RunResult(
         impl=impl,
@@ -271,4 +290,5 @@ def run(
         engine=report,
         params=params,
         grid=grid,
+        graph=built.graph,
     )

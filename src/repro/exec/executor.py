@@ -379,7 +379,7 @@ class ThreadedExecutor:
                         self._failure = exc
                     self._work_ready.notify_all()
                 return
-            recorder.record(wid, task.kind, start, end, task.key)
+            recorder.record(wid, task.kind, start, end, task.key, task_id=task.key)
             if self._kind_counts is not None:
                 kinds = self._kind_counts[wid]
                 kinds[task.kind] = kinds.get(task.kind, 0) + 1

@@ -474,9 +474,9 @@ def _node_main(
             }
             if want_trace:
                 stats["task_spans"] = [
-                    (wid, kind, start - epoch, end - epoch, label)
+                    (wid, kind, start - epoch, end - epoch, label, task_id)
                     for wid, lane in enumerate(executor._recorder._lanes)
-                    for kind, start, end, label in lane
+                    for kind, start, end, label, task_id in lane
                 ]
                 stats["send_spans"] = _relative_spans(courier.spans, epoch)
                 stats["recv_spans"] = _relative_spans(receiver.spans, epoch)
@@ -829,12 +829,14 @@ class ProcessExecutor:
             for dst, (msgs, nbytes, _wire) in stats["by_dst"].items():
                 by_pair[(node, dst)] = (msgs, nbytes)
             if self.want_trace:
-                for wid, kind, start, end, label in stats["task_spans"]:
-                    spans.append((node, wid, kind, start, end, label))
+                for wid, kind, start, end, label, task_id in stats["task_spans"]:
+                    spans.append((node, wid, kind, start, end, label, task_id))
+                # Comm labels are (producer, tag, peer) tuples; the
+                # producer key is the span's task identity.
                 for start, end, label in stats["send_spans"]:
-                    spans.append((node, SEND_LANE, "send", start, end, label))
+                    spans.append((node, SEND_LANE, "send", start, end, label, label[0]))
                 for start, end, label in stats["recv_spans"]:
-                    spans.append((node, RECV_LANE, "recv", start, end, label))
+                    spans.append((node, RECV_LANE, "recv", start, end, label, label[0]))
             if self.metrics is not None and "metrics" in stats:
                 self.metrics.merge(stats["metrics"])
         if self.want_trace:

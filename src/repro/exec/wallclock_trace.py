@@ -37,9 +37,10 @@ class WallClockRecorder:
         self.jobs = jobs
         self.enabled = enabled
         self._t0 = 0.0
-        #: per-worker lists of (kind, start, end, label); no locking
-        #: needed because worker ``w`` is the only writer of lane ``w``.
-        self._lanes: list[list[tuple[str, float, float, object]]] = [
+        #: per-worker lists of (kind, start, end, label, task_id); no
+        #: locking needed because worker ``w`` is the only writer of
+        #: lane ``w``.
+        self._lanes: list[list[tuple[str, float, float, object, object]]] = [
             [] for _ in range(jobs)
         ]
 
@@ -52,10 +53,18 @@ class WallClockRecorder:
         """Raw ``perf_counter`` timestamp (not yet origin-relative)."""
         return time.perf_counter()
 
-    def record(self, wid: int, kind: str, start: float, end: float, label: object = None) -> None:
+    def record(
+        self,
+        wid: int,
+        kind: str,
+        start: float,
+        end: float,
+        label: object = None,
+        task_id: object = None,
+    ) -> None:
         """Record one span with *raw* timestamps from :meth:`now`."""
         if self.enabled:
-            self._lanes[wid].append((kind, start, end, label))
+            self._lanes[wid].append((kind, start, end, label, task_id))
 
     def span_count(self) -> int:
         return sum(len(lane) for lane in self._lanes)
@@ -66,15 +75,15 @@ class WallClockRecorder:
         (spans sorted by start time across all workers, the order the
         simulator's trace naturally has)."""
         return build_trace(
-            (node, wid, kind, start - self._t0, end - self._t0, label)
+            (node, wid, kind, start - self._t0, end - self._t0, label, task_id)
             for wid, lane in enumerate(self._lanes)
-            for kind, start, end, label in lane
+            for kind, start, end, label, task_id in lane
         )
 
     def busy_per_worker(self) -> dict[int, float]:
         """Total busy seconds per worker lane."""
         return {
-            wid: sum(end - start for _kind, start, end, _label in lane)
+            wid: sum(end - start for _kind, start, end, _label, _tid in lane)
             for wid, lane in enumerate(self._lanes)
         }
 

@@ -40,9 +40,12 @@ class TraceExperiment:
             self.base.trace, self.ca.trace, PROFILE_NODE, machine.node.compute_cores
         )
 
-    def gantt(self, which: str = "base", width: int = 100) -> str:
+    def gantt(self, which: str = "base", width: int = 100,
+              critpath: bool = False) -> str:
         res = self.base if which == "base" else self.ca
-        return render_gantt(res.trace, PROFILE_NODE, width=width)
+        overlay = res.critpath() if critpath else None
+        return render_gantt(res.trace, PROFILE_NODE, width=width,
+                            critpath=overlay)
 
 
 def capture(setup: MachineSetup = NACL, ratio: float = RATIO, nodes: int = NODES) -> TraceExperiment:
@@ -57,6 +60,18 @@ def capture(setup: MachineSetup = NACL, ratio: float = RATIO, nodes: int = NODES
         tile=setup.tile, steps=setup.steps, ratio=ratio, mode="simulate", trace=True,
     )
     return TraceExperiment(base=base, ca=ca)
+
+
+def causal_summary(exp: TraceExperiment) -> str:
+    """Fig. 10's causal reading: diff the base and CA traces and show
+    how the blame of the critical path moved.  The paper's claim --
+    CA trades slower kernels for less exposed communication -- appears
+    here as a lower communication share of critical-path time."""
+    from ..obs.diff import diff_results
+
+    diff = diff_results(exp.base, exp.ca,
+                        label_a="base-parsec", label_b="ca-parsec")
+    return diff.format()
 
 
 def rows(exp: TraceExperiment) -> list[tuple]:

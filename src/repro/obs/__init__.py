@@ -21,6 +21,13 @@ from __future__ import annotations
 
 import os
 
+from .critpath import (
+    CritPathReport,
+    critical_path,
+    find_stragglers,
+    publish_critpath_metrics,
+)
+from .diff import TraceDiff, diff_results, diff_traces
 from .metrics import (
     Counter,
     Gauge,
@@ -45,6 +52,7 @@ def trace_validation_enabled() -> bool:
 
 __all__ = [
     "Counter",
+    "CritPathReport",
     "DEBUG_TRACE_ENV",
     "Gauge",
     "Histogram",
@@ -52,9 +60,15 @@ __all__ = [
     "MetricsSnapshot",
     "RegressReport",
     "RunMonitor",
+    "TraceDiff",
     "compare",
+    "critical_path",
+    "diff_results",
+    "diff_traces",
+    "find_stragglers",
     "format_summary",
     "load_baseline",
     "monitored_run",
+    "publish_critpath_metrics",
     "trace_validation_enabled",
 ]

@@ -1,0 +1,234 @@
+"""Trace differ: where did the time move between two runs?
+
+Aligns two traces task-by-task (base vs CA, sim vs threads vs procs,
+yesterday vs today) on the first-class span ``task_id`` and reports
+
+* the makespan delta,
+* per-kind totals/medians side by side,
+* the largest per-task movers,
+* and -- through :mod:`repro.obs.critpath` -- how the *blame* of the
+  critical path shifted: the headline number for the paper's story is
+  :attr:`TraceDiff.comm_share_drop`, the communication share of
+  critical-path time that a communication-avoiding schedule removes.
+
+Diffing a trace against itself yields an :meth:`TraceDiff.empty` diff;
+the tests pin that as an invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..runtime.trace import Trace, median
+from .critpath import COMM_KINDS, CritPathReport, critical_path, _task_identity
+
+
+@dataclass(frozen=True)
+class KindDelta:
+    """Aggregate duration movement for one span kind."""
+
+    kind: str
+    count_a: int
+    count_b: int
+    total_a: float
+    total_b: float
+    median_a: float
+    median_b: float
+
+    @property
+    def delta_total(self) -> float:
+        return self.total_b - self.total_a
+
+
+@dataclass(frozen=True)
+class TaskDelta:
+    """Duration movement of one task matched across both traces."""
+
+    task_id: Any
+    kind: str
+    duration_a: float
+    duration_b: float
+
+    @property
+    def delta(self) -> float:
+        return self.duration_b - self.duration_a
+
+
+@dataclass
+class TraceDiff:
+    """The full alignment of two traces."""
+
+    label_a: str
+    label_b: str
+    makespan_a: float
+    makespan_b: float
+    critpath_a: CritPathReport
+    critpath_b: CritPathReport
+    kinds: list[KindDelta] = field(default_factory=list)
+    #: Largest per-task movers (by absolute delta), matched tasks only.
+    movers: list[TaskDelta] = field(default_factory=list)
+    matched: int = 0
+    only_a: int = 0
+    only_b: int = 0
+
+    @property
+    def makespan_delta(self) -> float:
+        return self.makespan_b - self.makespan_a
+
+    @property
+    def comm_share_drop(self) -> float:
+        """How much communication share of critical-path time run B
+        removed relative to run A (positive = B is less comm-bound)."""
+        return self.critpath_a.comm_share - self.critpath_b.comm_share
+
+    def empty(self) -> bool:
+        """True when nothing moved: every task matched with identical
+        durations and the makespans agree (a trace diffed against
+        itself)."""
+        return (
+            self.only_a == 0
+            and self.only_b == 0
+            and self.makespan_delta == 0.0
+            and all(d.delta == 0.0 for d in self.movers)
+            and all(k.delta_total == 0.0 for k in self.kinds)
+        )
+
+    def format(self, top: int = 5) -> str:
+        a, b = self.label_a, self.label_b
+        if self.empty():
+            return f"no differences between {a} and {b}"
+        lines = [
+            f"trace diff: {a} -> {b}",
+            f"  makespan: {self.makespan_a:.6g} s -> {self.makespan_b:.6g} s "
+            f"({self.makespan_delta:+.6g} s)",
+            f"  comm share of critical path: "
+            f"{self.critpath_a.comm_share:.1%} -> "
+            f"{self.critpath_b.comm_share:.1%} "
+            f"(drop {self.comm_share_drop:+.1%})",
+            f"  tasks: {self.matched} matched, "
+            f"{self.only_a} only in {a}, {self.only_b} only in {b}",
+        ]
+        if self.kinds:
+            lines.append("  per kind (total seconds):")
+            for k in self.kinds:
+                lines.append(
+                    f"    {k.kind:<10} {k.total_a:>10.6g} -> {k.total_b:>10.6g} "
+                    f"({k.delta_total:+.6g}; median "
+                    f"{k.median_a:.6g} -> {k.median_b:.6g}; "
+                    f"n {k.count_a} -> {k.count_b})"
+                )
+        shares_a = self.critpath_a.blame_shares()
+        shares_b = self.critpath_b.blame_shares()
+        blames = sorted(set(shares_a) | set(shares_b))
+        if blames:
+            lines.append("  critical-path blame shares:")
+            for blame in blames:
+                sa, sb = shares_a.get(blame, 0.0), shares_b.get(blame, 0.0)
+                lines.append(f"    {blame:<10} {sa:>6.1%} -> {sb:>6.1%}")
+        if self.movers:
+            lines.append("  top task movers:")
+            for m in self.movers[:top]:
+                lines.append(
+                    f"    {m.kind} task {m.task_id!r}: "
+                    f"{m.duration_a:.6g} s -> {m.duration_b:.6g} s "
+                    f"({m.delta:+.6g} s)"
+                )
+        return "\n".join(lines)
+
+
+def _task_durations(trace: Trace) -> dict[Any, tuple[str, float]]:
+    """Total compute duration per task identity (a task may appear as
+    several spans only in pathological traces; durations sum)."""
+    out: dict[Any, tuple[str, float]] = {}
+    for span in trace.compute_spans():
+        if span.kind in COMM_KINDS:
+            continue
+        key = _task_identity(span)
+        prev = out.get(key)
+        out[key] = (span.kind, (prev[1] if prev else 0.0) + span.duration)
+    return out
+
+
+def diff_traces(
+    trace_a: Trace,
+    trace_b: Trace,
+    graph_a: Any = None,
+    graph_b: Any = None,
+    label_a: str = "a",
+    label_b: str = "b",
+    top: int = 10,
+) -> TraceDiff:
+    """Align ``trace_a`` and ``trace_b`` task-by-task and report where
+    the time moved."""
+    crit_a = critical_path(trace_a, graph_a)
+    crit_b = critical_path(trace_b, graph_b)
+
+    tasks_a = _task_durations(trace_a)
+    tasks_b = _task_durations(trace_b)
+    shared = tasks_a.keys() & tasks_b.keys()
+    movers = [
+        TaskDelta(task_id=key, kind=tasks_b[key][0],
+                  duration_a=tasks_a[key][1], duration_b=tasks_b[key][1])
+        for key in shared
+    ]
+    movers.sort(key=lambda d: (-abs(d.delta), repr(d.task_id)))
+
+    by_kind: dict[str, list[list[float]]] = {}
+    for trace, side in ((trace_a, 0), (trace_b, 1)):
+        for span in trace.spans:
+            by_kind.setdefault(span.kind, [[], []])[side].append(span.duration)
+    kinds = [
+        KindDelta(
+            kind=kind,
+            count_a=len(ds[0]), count_b=len(ds[1]),
+            total_a=sum(ds[0]), total_b=sum(ds[1]),
+            median_a=median(ds[0]), median_b=median(ds[1]),
+        )
+        for kind, ds in sorted(by_kind.items())
+    ]
+    kinds.sort(key=lambda k: -abs(k.delta_total))
+
+    return TraceDiff(
+        label_a=label_a,
+        label_b=label_b,
+        makespan_a=trace_a.makespan(),
+        makespan_b=trace_b.makespan(),
+        critpath_a=crit_a,
+        critpath_b=crit_b,
+        kinds=kinds,
+        movers=movers[:top],
+        matched=len(shared),
+        only_a=len(tasks_a.keys() - tasks_b.keys()),
+        only_b=len(tasks_b.keys() - tasks_a.keys()),
+    )
+
+
+def diff_results(
+    result_a: Any,
+    result_b: Any,
+    label_a: str = "a",
+    label_b: str = "b",
+    top: int = 10,
+) -> TraceDiff:
+    """Diff two run results (anything carrying ``.trace`` and,
+    optionally, ``.graph`` -- :class:`repro.core.report.RunResult`
+    does).  Raises ``ValueError`` when either run was not traced."""
+    trace_a, trace_b = result_a.trace, result_b.trace
+    if trace_a is None or trace_b is None:
+        raise ValueError("both runs must carry a trace (run with trace=True)")
+    return diff_traces(
+        trace_a, trace_b,
+        graph_a=getattr(result_a, "graph", None),
+        graph_b=getattr(result_b, "graph", None),
+        label_a=label_a, label_b=label_b, top=top,
+    )
+
+
+__all__ = [
+    "KindDelta",
+    "TaskDelta",
+    "TraceDiff",
+    "diff_results",
+    "diff_traces",
+]

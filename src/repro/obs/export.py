@@ -14,7 +14,16 @@ so every export lives here, once:
   (``resourceSpans`` / ``scopeSpans`` with span ids and unix-nano
   timestamps) built from the same :class:`Span` schema;
 * **Prometheus text exposition** -- a :class:`MetricsSnapshot`
-  rendered in the ``# HELP`` / ``# TYPE`` format scrapers parse.
+  rendered in the ``# HELP`` / ``# TYPE`` format scrapers parse;
+* **collapsed-stack flamegraphs** -- the ``stack;frames count`` lines
+  ``flamegraph.pl`` and speedscope consume, for whole traces
+  (:func:`flamegraph_folded`) and for the blamed critical path
+  (:func:`critpath_folded`).
+
+The Chrome export can additionally paint a *critical-path highlight
+lane* (one ``critpath`` thread per node, tid 9998) from a
+:class:`~repro.obs.critpath.CritPathReport`, so the makespan-deciding
+chain is visible on top of the regular worker lanes.
 
 It also owns :func:`build_trace`, the span-list-to-``Trace``
 normalisation both wall-clock recorders previously reimplemented.
@@ -27,6 +36,7 @@ import json
 from typing import Any, Iterable
 
 from ..runtime.trace import Span, Trace
+from .critpath import CritPathReport
 from .metrics import MetricsSnapshot
 
 #: Microseconds per virtual second (trace events use microseconds).
@@ -42,6 +52,19 @@ _COLORS = {
     "recv": "rail_load",
 }
 
+#: Colour per critical-path blame category (highlight lane).
+_BLAME_COLORS = {
+    "compute": "thread_state_running",
+    "comm": "rail_animation",
+    "wire": "rail_load",
+    "queue": "thread_state_runnable",
+    "comm-queue": "rail_response",
+    "startup": "startup",
+}
+
+#: Synthetic thread id of the per-node critical-path highlight lane.
+CRITPATH_TID = 9998
+
 
 # ---------------------------------------------------------------------------
 # shared trace normalisation
@@ -49,17 +72,21 @@ _COLORS = {
 
 
 def build_trace(
-    spans: Iterable[tuple[int, int, str, float, float, Any]],
+    spans: Iterable[tuple],
 ) -> Trace:
     """Materialise a :class:`Trace` from ``(node, worker, kind, start,
-    end, label)`` tuples, emitted sorted by start time across all lanes
-    -- the order the simulator's trace naturally has.  Shared by the
-    threads backend's wall-clock recorder and the procs backend's
-    cross-process merge."""
+    end, label[, task_id])`` tuples, emitted sorted by start time
+    across all lanes -- the order the simulator's trace naturally has.
+    Shared by the threads backend's wall-clock recorder and the procs
+    backend's cross-process merge.  The seventh element is optional so
+    span streams recorded before ``Span.task_id`` existed still load.
+    """
     ordered = sorted(spans, key=lambda s: (s[3], s[4]))
     trace = Trace()
-    for node, worker, kind, start, end, label in ordered:
-        trace.record(node, worker, kind, start, end, label)
+    for item in ordered:
+        node, worker, kind, start, end, label = item[:6]
+        task_id = item[6] if len(item) > 6 else None
+        trace.record(node, worker, kind, start, end, label, task_id=task_id)
     return trace
 
 
@@ -68,13 +95,20 @@ def build_trace(
 # ---------------------------------------------------------------------------
 
 
-def to_events(trace: Trace, time_scale: float = 1.0) -> list[dict[str, Any]]:
+def to_events(
+    trace: Trace,
+    time_scale: float = 1.0,
+    critpath: CritPathReport | None = None,
+) -> list[dict[str, Any]]:
     """Convert spans to Chrome trace-event dicts.
 
     Each node becomes a process, each worker a thread (comm lanes are
     ``comm``), every span a complete ('X') event.  ``time_scale``
     stretches virtual time (useful when spans are nanoseconds-short
-    and the viewer rounds them away).
+    and the viewer rounds them away).  ``critpath`` adds a highlight
+    lane (tid :data:`CRITPATH_TID`) per node painting each
+    critical-path segment with its blame category, so the
+    makespan-deciding chain reads directly off the timeline.
     """
     if time_scale <= 0:
         raise ValueError("time_scale must be positive")
@@ -107,6 +141,38 @@ def to_events(trace: Trace, time_scale: float = 1.0) -> list[dict[str, Any]]:
         if color:
             event["cname"] = color
         events.append(event)
+    if critpath is not None:
+        lane_nodes: set[int] = set()
+        for seg in critpath.segments:
+            if seg.duration <= 0:
+                continue
+            node = max(seg.node, 0)
+            if node not in lane_nodes:
+                lane_nodes.add(node)
+                events.append({
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": node,
+                    "tid": CRITPATH_TID,
+                    "args": {"name": "critical path"},
+                })
+            event = {
+                "ph": "X",
+                "name": seg.blame,
+                "cat": "critpath",
+                "pid": node,
+                "tid": CRITPATH_TID,
+                "ts": seg.start * _US * time_scale,
+                "dur": seg.duration * _US * time_scale,
+                "args": {"blame": seg.blame, "kind": seg.kind,
+                         "worker": seg.worker},
+            }
+            if seg.task_id is not None:
+                event["args"]["task"] = repr(seg.task_id)
+            color = _BLAME_COLORS.get(seg.blame)
+            if color:
+                event["cname"] = color
+            events.append(event)
     for node in sorted({s.node for s in trace.spans}):
         events.append({
             "ph": "M",
@@ -117,17 +183,76 @@ def to_events(trace: Trace, time_scale: float = 1.0) -> list[dict[str, Any]]:
     return events
 
 
-def dumps(trace: Trace, time_scale: float = 1.0) -> str:
+def dumps(
+    trace: Trace,
+    time_scale: float = 1.0,
+    critpath: CritPathReport | None = None,
+) -> str:
     """The complete Chrome trace JSON document as a string."""
-    return json.dumps(
-        {"traceEvents": to_events(trace, time_scale), "displayTimeUnit": "ms"}
-    )
+    return json.dumps({
+        "traceEvents": to_events(trace, time_scale, critpath=critpath),
+        "displayTimeUnit": "ms",
+    })
 
 
-def write(trace: Trace, path: str, time_scale: float = 1.0) -> None:
+def write(
+    trace: Trace,
+    path: str,
+    time_scale: float = 1.0,
+    critpath: CritPathReport | None = None,
+) -> None:
     """Write the Chrome trace to ``path`` (open in chrome://tracing)."""
     with open(path, "w") as fh:
-        fh.write(dumps(trace, time_scale))
+        fh.write(dumps(trace, time_scale, critpath=critpath))
+
+
+# ---------------------------------------------------------------------------
+# collapsed-stack flamegraphs
+# ---------------------------------------------------------------------------
+
+
+def flamegraph_folded(trace: Trace) -> str:
+    """The whole trace in collapsed-stack form, one
+    ``node;lane;kind count`` line per distinct stack, weighted by
+    microseconds.  Pipe through ``flamegraph.pl`` (or drop into
+    speedscope) to see where the worker-seconds went."""
+    counts: dict[str, int] = {}
+    for span in trace.spans:
+        lane = "comm" if span.worker < 0 else f"worker {span.worker}"
+        stack = f"node {span.node};{lane};{span.kind}"
+        counts[stack] = counts.get(stack, 0) + int(round(span.duration * _US))
+    return "\n".join(f"{stack} {n}" for stack, n in sorted(counts.items()))
+
+
+def critpath_folded(report: CritPathReport) -> str:
+    """The blamed critical path in collapsed-stack form:
+    ``critical path;blame;kind count`` lines weighted by microseconds.
+    The resulting flame shows at a glance how much of the makespan was
+    compute vs communication vs waiting."""
+    counts: dict[str, int] = {}
+    for seg in report.segments:
+        frames = ["critical path", seg.blame]
+        if seg.kind:
+            frames.append(seg.kind)
+        stack = ";".join(frames)
+        counts[stack] = counts.get(stack, 0) + int(round(seg.duration * _US))
+    return "\n".join(f"{stack} {n}" for stack, n in sorted(counts.items()))
+
+
+def write_flamegraph(
+    path: str,
+    trace: Trace | None = None,
+    critpath: CritPathReport | None = None,
+) -> None:
+    """Write collapsed stacks to ``path``: the trace's, the critical
+    path's, or both (they merge cleanly -- distinct root frames)."""
+    chunks = []
+    if trace is not None and len(trace):
+        chunks.append(flamegraph_folded(trace))
+    if critpath is not None and critpath.segments:
+        chunks.append(critpath_folded(critpath))
+    with open(path, "w") as fh:
+        fh.write("\n".join(c for c in chunks if c) + "\n")
 
 
 # ---------------------------------------------------------------------------
@@ -145,6 +270,7 @@ def span_record(span: Span) -> dict[str, Any]:
         "end_s": span.end,
         "duration_s": span.duration,
         "label": repr(span.label) if span.label is not None else None,
+        "task_id": repr(span.task_id) if span.task_id is not None else None,
     }
 
 
@@ -217,6 +343,10 @@ def to_otel(
         if span.label is not None:
             attributes.append(
                 {"key": "label", "value": {"stringValue": repr(span.label)}}
+            )
+        if span.task_id is not None:
+            attributes.append(
+                {"key": "task_id", "value": {"stringValue": repr(span.task_id)}}
             )
         spans.append({
             "traceId": trace_id,
@@ -300,8 +430,11 @@ def write_prometheus(snapshot: MetricsSnapshot, path: str) -> None:
 
 
 __all__ = [
+    "CRITPATH_TID",
     "build_trace",
+    "critpath_folded",
     "dumps",
+    "flamegraph_folded",
     "metrics_jsonl",
     "prometheus_text",
     "span_record",
@@ -309,6 +442,7 @@ __all__ = [
     "to_events",
     "to_otel",
     "write",
+    "write_flamegraph",
     "write_jsonl",
     "write_otel",
     "write_prometheus",

@@ -215,4 +215,17 @@ def format_summary(
     trials = snapshot.counter("tuning_trials_total")
     if trials:
         row("tuning trials", f"{trials:.0f}")
+    crit = snapshot.gauge("critpath_seconds")
+    if crit:
+        row("critical path", f"{crit:.6f} s")
+        row("critpath ratio", f"{snapshot.gauge('critpath_ratio'):.3f}"
+            " (dependency bound / makespan)")
+        row("critpath comm share",
+            f"{snapshot.gauge('critpath_comm_share'):.1%}")
+        blames = snapshot.labelled("critpath_blame_seconds")
+        for ls, state in sorted(
+            blames.items(), key=lambda kv: -kv[1]["value"]
+        ):
+            row(f"  blame={dict(ls).get('blame', '?')}",
+                f"{state['value']:.6f} s")
     return "\n".join(lines)

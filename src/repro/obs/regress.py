@@ -51,9 +51,9 @@ _SKIP_HINTS = ("unix_time", "timestamp", "paper_range", "budget",
                "tile", "steps", "problem_n", "seed", "nodes", "jobs",
                "procs", "workers")
 _LOWER_HINTS = ("elapsed", "makespan", "seconds", "latency", "messages",
-                "bytes", "runs_used", "misses", "redundant")
+                "bytes", "runs_used", "misses", "redundant", "comm_share")
 _HIGHER_HINTS = ("gflops", "occupancy", "hit_rate", "hits", "speedup",
-                 "efficiency", "bandwidth")
+                 "efficiency", "bandwidth", "critpath_ratio")
 
 
 def direction(name: str) -> str | None:
@@ -215,6 +215,16 @@ def metrics_from_result(result: Any) -> dict[str, float]:
         wire = snapshot.counter("wire_bytes_total")
         if wire:
             out["wire_bytes"] = float(wire)
+        # Causal gauges exist when the run was traced as well as
+        # instrumented (see runner._publish_critpath); gate them so a
+        # commit cannot silently push communication back onto the
+        # critical path.
+        if snapshot.gauge("critpath_seconds"):
+            out["critpath_seconds"] = float(snapshot.gauge("critpath_seconds"))
+            out["critpath_ratio"] = float(snapshot.gauge("critpath_ratio"))
+            out["critpath_comm_share"] = float(
+                snapshot.gauge("critpath_comm_share")
+            )
     return out
 
 

@@ -430,7 +430,9 @@ class Engine:
             if self._worker_busy is not None:
                 self._worker_busy[node][worker] += duration
             if self.trace is not None:
-                self.trace.record(node, worker, task.kind, start, end, task.key)
+                self.trace.record(
+                    node, worker, task.kind, start, end, task.key, task_id=task.key
+                )
             if self.execute:
                 self._run_kernel(task)
             self._push_event(end, _TASK_DONE, (task, worker))
@@ -521,7 +523,9 @@ class Engine:
             if self._worker_busy is not None:
                 self._worker_busy[node][worker] += send_time
             if self.trace is not None:
-                self.trace.record(node, worker, "send", self._now, end, task.key)
+                self.trace.record(
+                    node, worker, "send", self._now, end, task.key, task_id=task.key
+                )
             for msg in msgs:
                 # Receive-side processing is charged to the consuming
                 # task itself (_recv_charge), so arrival is wire-only.
@@ -581,7 +585,14 @@ class Engine:
         self._comm_free[node] = end
         self._comm_busy[node] += overhead
         if self.trace is not None:
-            self.trace.record(node, -1, kind, start, end, (msg.producer, msg.tag))
+            # The label carries the full comm-edge endpoints -- for a
+            # send the destination node, for a recv the source node --
+            # so the causal critical-path join can pair the two spans.
+            peer = msg.dst if kind == "send" else msg.src
+            self.trace.record(
+                node, -1, kind, start, end, (msg.producer, msg.tag, peer),
+                task_id=msg.producer,
+            )
         if kind == "send":
             # After CPU-side processing the NIC serializes onto the wire.
             nic_start = max(end, self._nic_free[node])

@@ -9,8 +9,22 @@ for base vs 153 ms for CA on the profiled configuration).
 
 from __future__ import annotations
 
+import statistics
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Iterable
+
+
+def median(values: Iterable[float]) -> float:
+    """Median of ``values``; ``0.0`` for an empty sequence.
+
+    The one median implementation trace statistics, occupancy reports
+    and the causal critical-path analysis all share (the empty-input
+    convention is theirs, :func:`statistics.median` raises instead).
+    """
+    data = values if isinstance(values, list) else list(values)
+    if not data:
+        return 0.0
+    return float(statistics.median(data))
 
 
 @dataclass(frozen=True)
@@ -20,7 +34,14 @@ class Span:
     ``worker`` is the within-node worker index; the communication
     thread uses worker index ``-1``.  ``kind`` is the task's label
     ("interior", "boundary", ...) or one of the engine's communication
-    labels ("send", "recv").
+    labels ("send", "recv").  ``task_id`` is the first-class identity
+    of the task the span belongs to -- for a compute span the task's
+    graph key, for a send/recv span the *producer's* key -- which is
+    what lets the causal critical-path analysis join a trace back onto
+    its :class:`~repro.runtime.graph.TaskGraph` without guessing.
+    ``label`` stays a free-form display field (old traces that only
+    carried a label still load: ``task_id`` defaults to ``None`` and
+    consumers fall back to the label).
     """
 
     node: int
@@ -29,6 +50,7 @@ class Span:
     start: float
     end: float
     label: Any = None
+    task_id: Any = None
 
     @property
     def duration(self) -> float:
@@ -46,9 +68,18 @@ class Trace:
         self.spans: list[Span] = []
         self.enabled = True
 
-    def record(self, node: int, worker: int, kind: str, start: float, end: float, label: Any = None) -> None:
+    def record(
+        self,
+        node: int,
+        worker: int,
+        kind: str,
+        start: float,
+        end: float,
+        label: Any = None,
+        task_id: Any = None,
+    ) -> None:
         if self.enabled:
-            self.spans.append(Span(node, worker, kind, start, end, label))
+            self.spans.append(Span(node, worker, kind, start, end, label, task_id))
 
     def __len__(self) -> int:
         return len(self.spans)
@@ -82,13 +113,7 @@ class Trace:
         return [s.duration for s in self.spans if kind is None or s.kind == kind]
 
     def median_duration(self, kind: str | None = None) -> float:
-        ds = sorted(self.durations(kind))
-        if not ds:
-            return 0.0
-        mid = len(ds) // 2
-        if len(ds) % 2:
-            return ds[mid]
-        return 0.5 * (ds[mid - 1] + ds[mid])
+        return median(self.durations(kind))
 
     def busy_time(self, node: int | None = None, compute_only: bool = True) -> float:
         return sum(
@@ -177,14 +202,13 @@ def kind_statistics(trace: Trace) -> list[KindStats]:
     for kind, ds in by_kind.items():
         ds.sort()
         n = len(ds)
-        median = ds[n // 2] if n % 2 else 0.5 * (ds[n // 2 - 1] + ds[n // 2])
         p95 = ds[min(n - 1, int(0.95 * n))]
         out.append(
             KindStats(
                 kind=kind,
                 count=n,
                 total=sum(ds),
-                median=median,
+                median=median(ds),
                 mean=sum(ds) / n,
                 p95=p95,
             )

@@ -1,0 +1,247 @@
+"""Causal critical-path analysis: exactness, slack, blame, outliers."""
+
+import math
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.runner import run
+from repro.machine.machine import nacl
+from repro.obs import MetricRegistry
+from repro.obs.critpath import (
+    critical_path,
+    find_stragglers,
+    publish_critpath_metrics,
+    worker_loads,
+)
+from repro.runtime.trace import Trace, median
+from repro.stencil.problem import JacobiProblem
+
+BLAMES = {"compute", "comm", "wire", "queue", "comm-queue", "startup"}
+
+
+def assert_exact_tiling(report):
+    """The tentpole invariant: segments tile [0, makespan] exactly."""
+    assert report.segments, "a non-empty trace must yield segments"
+    assert report.segments[0].start == 0.0
+    assert report.segments[-1].end == report.makespan
+    for a, b in zip(report.segments, report.segments[1:]):
+        assert a.end == b.start, f"gap between segments: {a} -> {b}"
+    assert math.isclose(
+        report.critpath_time, report.makespan, rel_tol=1e-12, abs_tol=0.0
+    )
+    assert all(s.blame in BLAMES for s in report.segments)
+    assert all(s.duration > 0 for s in report.segments)
+
+
+def sim_result(impl="ca-parsec", n=480, iterations=5, tile=120, steps=3,
+               ratio=1.0, nodes=4, **kw):
+    return run(
+        JacobiProblem(n=n, iterations=iterations), impl=impl,
+        machine=nacl(nodes), tile=tile, steps=steps, ratio=ratio,
+        trace=True, **kw,
+    )
+
+
+# -- simulator backend ----------------------------------------------------
+
+
+@pytest.mark.parametrize("impl", ["base-parsec", "ca-parsec"])
+def test_sim_segments_sum_exactly_to_makespan(impl):
+    report = sim_result(impl=impl).critpath()
+    assert_exact_tiling(report)
+
+
+def test_sim_slack_nonnegative_and_some_chain_is_tight():
+    result = sim_result()
+    report = result.critpath()
+    assert report.slack, "every compute span should get a slack entry"
+    assert all(s >= 0.0 for s in report.slack.values())
+    # The last span to finish defines the makespan: zero slack.
+    assert min(report.slack.values()) == 0.0
+
+
+def test_sim_dependency_bound_and_ratio():
+    result = sim_result()
+    report = result.critpath()
+    assert report.dependency_bound_s > 0.0
+    assert report.dependency_bound_s <= report.makespan * (1 + 1e-9)
+    assert 0.0 < report.critpath_ratio <= 1.0 + 1e-9
+
+
+def test_comm_share_between_zero_and_one():
+    report = sim_result(ratio=0.2).critpath()
+    assert 0.0 <= report.comm_share <= 1.0
+    # ratio=0.2 makes the run comm-bound: communication must show up.
+    assert report.comm_share > 0.0
+
+
+def test_report_formatting_and_top_segments():
+    report = sim_result().critpath()
+    text = report.format()
+    assert "critical path" in text
+    assert "dependency bound" in text
+    top = report.top_segments(3)
+    assert len(top) == 3
+    assert top[0].duration >= top[1].duration >= top[2].duration
+    assert "critpath" in report.brief()
+
+
+# -- real backends: same invariant on every trace schema ------------------
+
+
+def test_threads_backend_critpath_exact():
+    result = run(
+        JacobiProblem(n=96, iterations=4), impl="ca-parsec",
+        machine=nacl(4), tile=24, steps=2, backend="threads", jobs=2,
+        trace=True,
+    )
+    report = result.critpath()
+    assert_exact_tiling(report)
+    assert all(s >= 0.0 for s in report.slack.values())
+    assert all(s.task_id is not None for s in result.trace.compute_spans())
+
+
+def test_procs_backend_critpath_exact():
+    result = run(
+        JacobiProblem(n=96, iterations=3), impl="base-parsec",
+        machine=nacl(2), tile=24, backend="processes", procs=2, jobs=1,
+        trace=True,
+    )
+    report = result.critpath()
+    assert_exact_tiling(report)
+    assert all(s >= 0.0 for s in report.slack.values())
+    # Cross-process comm spans carry the producer key as task identity.
+    comm = result.trace.comm_spans()
+    assert comm, "a 2-node run exchanges halos"
+    assert all(s.task_id is not None for s in comm)
+
+
+# -- degraded inputs ------------------------------------------------------
+
+
+def test_old_trace_without_task_ids_still_analyses():
+    trace = Trace()
+    # Pre-task_id schema: compute labels are the key, comm labels are
+    # (producer, tag) pairs without a peer node.
+    trace.record(0, 0, "k", 0.0, 1.0, ("t", 0))
+    trace.record(0, -1, "send", 1.0, 1.2, (("t", 0), "o"))
+    trace.record(1, -1, "recv", 1.3, 1.5, (("t", 0), "o"))
+    report = critical_path(trace)
+    assert_exact_tiling(report)
+    assert report.makespan == 1.5
+    # compute body, send/recv bodies, and the send->recv wire hop all
+    # land on the path via the label-fallback matching.
+    assert report.blame_seconds.get("wire", 0.0) == pytest.approx(0.1)
+    assert report.blame_seconds.get("comm", 0.0) == pytest.approx(0.4)
+    assert report.blame_seconds.get("compute", 0.0) == pytest.approx(1.0)
+
+
+def test_empty_trace_yields_empty_report():
+    report = critical_path(Trace())
+    assert report.makespan == 0.0
+    assert report.segments == []
+    assert report.critpath_time == 0.0
+    assert report.comm_share == 0.0
+
+
+def test_critpath_requires_trace():
+    result = run(
+        JacobiProblem(n=480, iterations=2), impl="base-parsec",
+        machine=nacl(4), tile=120,
+    )
+    with pytest.raises(ValueError, match="trace"):
+        result.critpath()
+
+
+# -- outlier detection ----------------------------------------------------
+
+
+def test_straggler_detection_flags_the_outlier():
+    trace = Trace()
+    for i in range(20):
+        trace.record(0, i % 4, "k", float(i), i + 1.0 + 0.01 * (i % 3),
+                     task_id=("t", i))
+    trace.record(0, 0, "k", 30.0, 42.0, task_id=("slow", 0))
+    stragglers = find_stragglers(trace)
+    assert [s.task_id for s in stragglers] == [("slow", 0)]
+    assert stragglers[0].score > 3.5
+    assert stragglers[0].duration == 12.0
+
+
+def test_no_stragglers_in_uniform_trace():
+    trace = Trace()
+    for i in range(10):
+        trace.record(0, 0, "k", float(i), i + 1.0, task_id=i)
+    assert find_stragglers(trace) == []
+
+
+def test_worker_loads_and_imbalance():
+    trace = Trace()
+    trace.record(0, 0, "k", 0.0, 3.0, task_id="a")
+    trace.record(0, 1, "k", 0.0, 1.0, task_id="b")
+    loads = worker_loads(trace)
+    assert [(w.worker, w.busy) for w in loads] == [(0, 3.0), (1, 1.0)]
+    assert loads[0].share == 1.0  # busy for the whole makespan
+    report = critical_path(trace)
+    assert report.imbalance == pytest.approx(3.0 / 2.0)
+
+
+# -- metrics integration --------------------------------------------------
+
+
+def test_publish_critpath_metrics_gauges():
+    registry = MetricRegistry()
+    report = sim_result(ratio=0.2).critpath()
+    publish_critpath_metrics(registry, report)
+    snap = registry.snapshot()
+    assert snap.gauge("critpath_seconds") == pytest.approx(report.critpath_time)
+    assert snap.gauge("critpath_ratio") == pytest.approx(report.critpath_ratio)
+    assert snap.gauge("critpath_comm_share") == pytest.approx(report.comm_share)
+    blames = snap.labelled("critpath_blame_seconds")
+    assert blames, "per-blame gauge cells must exist"
+
+
+def test_runner_publishes_critpath_when_traced_and_instrumented():
+    registry = MetricRegistry()
+    result = sim_result(metrics=registry)
+    assert result.metrics.gauge("critpath_seconds") == pytest.approx(
+        result.critpath().critpath_time
+    )
+    assert result.graph is not None
+
+
+def test_median_helper():
+    assert median([]) == 0.0
+    assert median([3.0, 1.0, 2.0]) == 2.0
+    assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+    assert median(iter([5.0])) == 5.0
+
+
+# -- property: invariants across random shapes and step sizes -------------
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n=st.sampled_from([96, 144, 192]),
+    tile=st.sampled_from([24, 48]),
+    iterations=st.integers(3, 9),
+    steps=st.sampled_from([2, 4, 5]),  # frequently does not divide T
+)
+def test_critpath_bounds_property(n, tile, iterations, steps):
+    result = run(
+        JacobiProblem(n=n, iterations=iterations), impl="ca-parsec",
+        machine=nacl(4), tile=tile, steps=steps, trace=True,
+    )
+    report = result.critpath()
+    assert_exact_tiling(report)
+    assert all(s >= 0.0 for s in report.slack.values())
+    # Work bound: total busy worker-seconds cannot exceed the lane
+    # capacity, so makespan >= busy / (workers * nodes).
+    workers = result.machine.node.compute_cores
+    busy = result.trace.busy_time()
+    assert busy / (workers * result.machine.nodes) <= report.makespan * (1 + 1e-9)
+    # Dependency bound: no schedule beats the longest cost chain.
+    assert report.dependency_bound_s <= report.makespan * (1 + 1e-9)
