@@ -1,0 +1,207 @@
+"""The serving layer pays for itself: warm pools beat cold per-request
+runs, and the result cache serves repeats for free.
+
+Three measurements over a small-solve mix (the workload the service
+exists for -- many modest solves, heavy repetition):
+
+* **warm vs cold throughput** -- the same request stream through a
+  persistent :class:`~repro.serve.SolverService` (warm executors,
+  batching, result cache) against one cold :func:`repro.core.runner.run`
+  per request.  The acceptance bar is 3x.
+* **cache hit executes nothing** -- a repeated identical request is
+  served with *zero* task executions, proven by the
+  ``tasks_executed_total`` counter, not by timing.
+* **multi-tenant traffic** -- two tenants with different priorities
+  through one service; records queue/batch/fairness statistics.
+
+Outcomes append to ``BENCH_serve.json`` at the repo root so the
+serving-performance trajectory accumulates across commits
+(``repro stats --check BENCH_serve.json --section ...`` gates it).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.runner import run
+from repro.machine.machine import nacl
+from repro.serve import (
+    ServiceConfig,
+    SolveRequest,
+    SolverClient,
+    SolverService,
+)
+from repro.stencil.problem import JacobiProblem
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RECORD_PATH = REPO_ROOT / "BENCH_serve.json"
+
+MACHINE = nacl(4)
+SOLVE = dict(impl="base-parsec", tile=16, ratio=1.0)
+N, ITERATIONS = 64, 6
+
+#: The small-solve mix: 3 distinct problems, 24 requests (each problem
+#: asked for 8 times -- the repetition a service workload actually has).
+UNIQUE = 3
+REQUESTS = 24
+
+
+def _emit(key: str, record: dict) -> None:
+    try:
+        doc = json.loads(RECORD_PATH.read_text())
+    except (OSError, ValueError):
+        doc = {}
+    record["unix_time"] = round(time.time(), 3)
+    doc[key] = record
+    RECORD_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def _problems() -> list[JacobiProblem]:
+    return [
+        JacobiProblem(n=N, iterations=ITERATIONS + k) for k in range(UNIQUE)
+    ]
+
+
+def _request_stream() -> list[JacobiProblem]:
+    problems = _problems()
+    return [problems[i % UNIQUE] for i in range(REQUESTS)]
+
+
+def _waves() -> list[list[JacobiProblem]]:
+    """The stream arrives in waves of the unique mix: later waves are
+    the repetition a real request stream exhibits."""
+    stream = _request_stream()
+    return [stream[i:i + UNIQUE] for i in range(0, REQUESTS, UNIQUE)]
+
+
+def _cold_seconds() -> float:
+    """One fully cold run() per request: graph build, pool spin-up and
+    tear-down every time -- the per-request overhead the service
+    amortises."""
+    t0 = time.perf_counter()
+    for wave in _waves():
+        for problem in wave:
+            run(problem, machine=MACHINE, mode="execute", backend="threads",
+                jobs=2, **SOLVE)
+    return time.perf_counter() - t0
+
+
+def _warm_seconds(tmp_path: Path) -> tuple[float, dict]:
+    config = ServiceConfig(workers=2, cache=tmp_path, tenant_limit=None)
+    with SolverService(config) as service:
+        client = SolverClient(service, tenant="bench")
+        t0 = time.perf_counter()
+        for wave in _waves():
+            futures = [
+                client.submit(problem, machine=MACHINE, backend="threads",
+                              jobs=2, **SOLVE)
+                for problem in wave
+            ]
+            for future in futures:
+                future.result(timeout=300)
+        elapsed = time.perf_counter() - t0
+        snap = service.metrics.snapshot()
+        counters = {
+            "cache_hits": snap.counter("serve_cache_hits_total"),
+            "warm_starts": snap.counter("serve_pool_warm_starts_total"),
+            "cold_starts": snap.counter("serve_pool_cold_starts_total"),
+            "batches": snap.counter("serve_batches_total"),
+            "dedup": snap.counter("serve_dedup_total"),
+        }
+    return elapsed, counters
+
+
+def test_warm_pool_throughput_vs_cold(tmp_path, show):
+    cold_s = _cold_seconds()
+    warm_s, counters = _warm_seconds(tmp_path)
+    cold_rps = REQUESTS / cold_s
+    warm_rps = REQUESTS / warm_s
+    speedup = warm_rps / cold_rps
+    show(
+        f"small-solve mix: {REQUESTS} requests over {UNIQUE} problems "
+        f"({N}^2 x ~{ITERATIONS} iterations)",
+        f"  cold run() per request : {cold_s:.3f} s  ({cold_rps:6.1f} req/s)",
+        f"  warm service           : {warm_s:.3f} s  ({warm_rps:6.1f} req/s)",
+        f"  speedup                : {speedup:.1f}x   "
+        f"(hits {counters['cache_hits']:.0f}, warm {counters['warm_starts']:.0f}, "
+        f"cold {counters['cold_starts']:.0f}, dedup {counters['dedup']:.0f})",
+    )
+    assert speedup >= 3.0, (
+        f"warm-pool throughput only {speedup:.2f}x cold; the acceptance "
+        "bar is 3x on the small-solve mix"
+    )
+    _emit("throughput", {
+        "requests": REQUESTS,
+        "unique_problems": UNIQUE,
+        "problem_n": N,
+        "cold_seconds": round(cold_s, 4),
+        "warm_seconds": round(warm_s, 4),
+        "speedup": round(speedup, 2),
+        **{k: round(v, 1) for k, v in counters.items()},
+    })
+
+
+def test_cache_hit_executes_zero_tasks(tmp_path, show):
+    problem = _problems()[0]
+    request = SolveRequest(problem=problem, machine=MACHINE,
+                           backend="threads", jobs=2, **SOLVE)
+    with SolverService(ServiceConfig(workers=1, cache=tmp_path)) as service:
+        first = service.submit(request).result(timeout=300)
+        before = service.metrics.snapshot().counter("tasks_executed_total")
+        repeat = service.submit(request).result(timeout=300)
+        after = service.metrics.snapshot().counter("tasks_executed_total")
+    assert not first.cached and repeat.cached
+    assert np.array_equal(first.grid, repeat.grid)
+    assert after == before, "a cache hit must execute zero tasks"
+    show(
+        f"repeat request: cached={repeat.cached}, task counter "
+        f"{before:.0f} -> {after:.0f} (zero executions on the hit)"
+    )
+    _emit("cache_hit", {
+        "tasks_first": before,
+        "tasks_delta_on_hit": after - before,
+        "hit_rate": 0.5,
+    })
+
+
+def test_multitenant_traffic(tmp_path, show):
+    """Two tenants, interleaved submission, one service: records the
+    fairness and batching statistics of a mixed stream."""
+    problems = _problems()
+    config = ServiceConfig(workers=2, cache=tmp_path, tenant_limit=2)
+    with SolverService(config) as service:
+        alice = SolverClient(service, tenant="alice", priority=1)
+        bob = SolverClient(service, tenant="bob")
+        futures = []
+        for i in range(REQUESTS):
+            client = alice if i % 2 == 0 else bob
+            futures.append(client.submit(
+                problems[i % UNIQUE], machine=MACHINE, backend="threads",
+                jobs=2, **SOLVE,
+            ))
+        outcomes = [f.result(timeout=300) for f in futures]
+        snap = service.metrics.snapshot()
+    assert len(outcomes) == REQUESTS
+    inflight = snap.labelled("serve_tenant_inflight")
+    peaks = {
+        dict(ls)["tenant"]: state["max"] for ls, state in inflight.items()
+    }
+    batches = snap.counter("serve_batches_total")
+    batched = snap.counter("serve_batched_jobs_total")
+    show(
+        f"two-tenant stream: {REQUESTS} requests, per-tenant in-flight "
+        f"peaks {peaks} (cap 2), "
+        f"{batches:.0f} batches ({batched / max(batches, 1):.1f} jobs/batch)",
+    )
+    assert all(peak <= 2 for peak in peaks.values())
+    _emit("multitenant", {
+        "requests": REQUESTS,
+        "tenant_peaks": {k: round(v, 1) for k, v in sorted(peaks.items())},
+        "batches": round(batches, 1),
+        "jobs_per_batch": round(batched / max(batches, 1), 2),
+        "cache_hits": round(snap.counter("serve_cache_hits_total"), 1),
+    })

@@ -28,6 +28,13 @@ Gives the library's main entry points a shell-friendly face:
   report where the time moved (defaults to the Fig.-10 base-vs-CA
   configuration; ``--assert-comm-drop`` exits 1 unless CA shows a
   strictly lower communication share of critical-path time);
+* ``serve`` -- run the persistent solver service against synthetic
+  multi-tenant traffic with live queue/progress lines and a serving
+  summary (warm starts, cache hit-rate, batching, admission rejects;
+  see ``docs/serving.md``);
+* ``submit`` -- submit one solve through a transient service backed
+  by the persistent on-disk result cache: a repeated identical
+  invocation is served from the cache and executes zero tasks;
 * ``validate`` -- the cross-implementation equivalence check;
 * ``machines`` -- list the machine presets with their parameters.
 """
@@ -212,7 +219,9 @@ def _add_stats_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--section", action="append", default=None,
                    metavar="NAME",
                    help="restrict a BENCH_*.json check to one section "
-                        "(repeatable)")
+                        "(repeatable); --section serve runs a canned "
+                        "service workload and reports/gates its serving "
+                        "metrics instead of a single run")
     p.add_argument("--prom-out", default=None, metavar="FILE.prom",
                    help="write Prometheus text exposition")
     p.add_argument("--jsonl-out", default=None, metavar="FILE.jsonl",
@@ -288,6 +297,81 @@ def _add_validate_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--steps", type=int, default=3)
 
 
+def _add_serve_request_flags(p: argparse.ArgumentParser) -> None:
+    """The solve-shape knobs shared by ``serve`` and ``submit``."""
+    p.add_argument("--impl", choices=IMPLEMENTATIONS, default="base-parsec")
+    p.add_argument("--machine", default="nacl", help="machine preset name")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--n", type=int, default=96, help="grid edge length")
+    p.add_argument("--iterations", type=int, default=6)
+    p.add_argument("--tile", type=int, default=None)
+    p.add_argument("--steps", type=int, default=15, help="CA step size")
+    p.add_argument("--ratio", type=float, default=1.0)
+    p.add_argument("--backend", choices=("threads", "processes"),
+                   default="threads",
+                   help="execution backend inside the service workers")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker threads per solve")
+
+
+def _add_serve_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve",
+        help="run the solver service against synthetic multi-tenant "
+             "traffic (live progress + serving summary)",
+    )
+    _add_serve_request_flags(p)
+    p.add_argument("--pool", choices=("threads", "processes"),
+                   default="threads",
+                   help="warm-pool kind: reusable in-process executors "
+                        "or persistent forked children")
+    p.add_argument("--workers", type=int, default=2,
+                   help="concurrent batches in flight (pool capacity)")
+    p.add_argument("--tenants", type=int, default=2,
+                   help="synthetic tenants submitting traffic")
+    p.add_argument("--requests", type=int, default=6,
+                   help="requests per tenant (second half repeats the "
+                        "first, exercising the result cache)")
+    p.add_argument("--queue-depth", type=int, default=64,
+                   help="admission bound (submissions beyond it are "
+                        "fast-rejected)")
+    p.add_argument("--tenant-limit", type=int, default=2,
+                   help="per-tenant in-flight cap")
+    p.add_argument("--batch-window", type=float, default=0.005,
+                   help="seconds the dispatcher waits to fuse "
+                        "compatible jobs into one batch")
+    p.add_argument("--max-batch", type=int, default=8)
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-request deadline in seconds")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="result-cache directory (default: a private "
+                        "temporary directory for this invocation)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the result cache")
+    p.add_argument("--interval", type=float, default=0.5,
+                   help="seconds between live progress samples")
+
+
+def _add_submit_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "submit",
+        help="submit one solve through a transient service (persistent "
+             "disk cache: a repeat invocation executes zero tasks)",
+    )
+    _add_serve_request_flags(p)
+    p.add_argument("--tenant", default="default")
+    p.add_argument("--priority", type=int, default=0)
+    p.add_argument("--deadline", type=float, default=None,
+                   help="deadline in seconds for this request")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="seconds to wait for the outcome")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="result-cache directory (default "
+                        "$REPRO_SERVE_CACHE or ~/.cache/repro/serve)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="neither consult nor write the result cache")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -304,6 +388,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_critpath_parser(sub)
     _add_trace_diff_parser(sub)
     _add_experiment_parser(sub)
+    _add_serve_parser(sub)
+    _add_submit_parser(sub)
     _add_validate_parser(sub)
     sub.add_parser("machines", help="list machine presets")
     return parser
@@ -530,6 +616,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     from .obs import format_summary, regress
 
+    if args.section and "serve" in args.section:
+        return _cmd_stats_serve(args)
     if args.check:
         doc = json.loads(Path(args.check).read_text())
         if not isinstance(doc, dict):
@@ -720,6 +808,195 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_knobs(args: argparse.Namespace) -> dict:
+    """Solve-shape kwargs for a :class:`SolveRequest` from CLI flags."""
+    machine = preset(args.machine, nodes=args.nodes)
+    knobs = dict(impl=args.impl, machine=machine,
+                 backend=args.backend, jobs=args.jobs)
+    if args.impl != "petsc":
+        knobs.update(tile=args.tile, ratio=args.ratio)
+        if args.impl == "ca-parsec":
+            knobs["steps"] = args.steps
+    return knobs
+
+
+def _serve_traffic(
+    service,
+    tenants: int,
+    per_tenant: int,
+    problems: list,
+    knobs: dict,
+    deadline_s: float | None = None,
+    timeout: float = 300.0,
+) -> dict[str, int]:
+    """Synthetic multi-tenant traffic: each tenant submits its share
+    in two waves over the same problem variants, so the second wave
+    is served from the result cache.  Returns outcome tallies."""
+    from .serve import ServeError, SolverClient
+
+    clients = [
+        SolverClient(service, tenant=f"tenant-{chr(ord('a') + i)}",
+                     deadline_s=deadline_s)
+        for i in range(tenants)
+    ]
+    tally = {"ok": 0, "cached": 0, "rejected": 0, "failed": 0}
+    first = (per_tenant + 1) // 2
+    for count in (first, per_tenant - first):
+        futures = []
+        for client in clients:
+            for k in range(count):
+                try:
+                    futures.append(
+                        client.submit(problems[k % len(problems)], **knobs)
+                    )
+                except ServeError:
+                    tally["rejected"] += 1
+        for future in futures:
+            try:
+                outcome = future.result(timeout)
+            except ServeError:
+                tally["failed"] += 1
+            else:
+                tally["cached" if outcome.cached else "ok"] += 1
+    return tally
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from .obs import RunMonitor, format_serve_summary
+    from .serve import ServiceConfig, SolverService
+
+    problems = [
+        JacobiProblem(n=args.n, iterations=args.iterations + k)
+        for k in range(max(1, (args.requests + 1) // 2))
+    ]
+    knobs = _serve_knobs(args)
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+        if args.no_cache:
+            cache: object = False
+        else:
+            cache = args.cache_dir if args.cache_dir else tmp
+        config = ServiceConfig(
+            pool=args.pool,
+            workers=args.workers,
+            jobs=args.jobs,
+            queue_depth=args.queue_depth,
+            tenant_limit=args.tenant_limit,
+            batch_window_s=args.batch_window,
+            max_batch=args.max_batch,
+            cache=cache,
+        )
+        monitor = RunMonitor(interval=args.interval, stream=sys.stdout)
+        with SolverService(config) as service:
+            monitor.attach(service)
+            try:
+                tally = _serve_traffic(
+                    service, args.tenants, args.requests, problems, knobs,
+                    deadline_s=args.deadline,
+                )
+            finally:
+                monitor.stop()
+            snapshot = service.metrics.snapshot()
+            stats = service.stats()
+    print(f"traffic: {args.tenants} tenants x {args.requests} requests "
+          f"({len(problems)} distinct problems, second wave repeats)")
+    print(f"outcomes: {tally['ok']} solved, {tally['cached']} cached, "
+          f"{tally['rejected']} rejected, {tally['failed']} failed")
+    print(format_serve_summary(snapshot))
+    pool = stats["pool"]
+    print(f"pool at shutdown: kind={pool['kind']} spawned={pool['spawned']}")
+    return 0 if tally["failed"] == 0 else 1
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .obs import format_serve_summary
+    from .serve import ServiceConfig, SolveRequest, SolverService
+
+    problem = JacobiProblem(n=args.n, iterations=args.iterations)
+    request = SolveRequest(
+        problem=problem,
+        tenant=args.tenant,
+        priority=args.priority,
+        deadline_s=args.deadline,
+        **_serve_knobs(args),
+    )
+    if args.no_cache:
+        cache: object = False
+    else:
+        cache = args.cache_dir  # None -> the persistent default dir
+    config = ServiceConfig(pool="threads", workers=1, jobs=args.jobs,
+                           cache=cache)
+    with SolverService(config) as service:
+        outcome = service.submit(request).result(args.timeout)
+        snapshot = service.metrics.snapshot()
+    served_by = ("result cache" if outcome.cached
+                 else "warm executor" if outcome.warm
+                 else "cold executor")
+    print(f"signature      {outcome.signature}")
+    params = " ".join(f"{k}={v}" for k, v in sorted(outcome.params.items()))
+    print(f"impl           {outcome.impl}  {params}")
+    print(f"elapsed        {outcome.elapsed:.6f} s  ({outcome.gflops:.2f} "
+          f"model gflop/s)")
+    print(f"messages       {outcome.messages} "
+          f"({outcome.message_bytes} payload bytes)")
+    print(f"served by      {served_by}")
+    tasks = snapshot.counter("tasks_executed_total")
+    print(f"tasks executed {tasks:.0f}")
+    print(format_serve_summary(snapshot))
+    return 0
+
+
+def _cmd_stats_serve(args: argparse.Namespace) -> int:
+    """``repro stats --section serve``: a canned two-tenant workload
+    through a temporary service, reported (and optionally gated)
+    through the serving metrics."""
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from .obs import format_serve_summary, regress
+    from .serve import ServiceConfig, SolverService
+
+    tile = None if args.tile == "auto" else args.tile
+    steps = 15 if args.steps == "auto" else args.steps
+    machine = preset(args.machine, nodes=args.nodes)
+    backend = args.backend if args.backend != "sim" else "threads"
+    knobs = dict(impl=args.impl, machine=machine, backend=backend,
+                 jobs=args.jobs)
+    if args.impl != "petsc":
+        knobs.update(tile=tile, ratio=args.ratio)
+        if args.impl == "ca-parsec":
+            knobs["steps"] = steps
+    problems = [
+        JacobiProblem(n=args.n, iterations=args.iterations + k)
+        for k in range(3)
+    ]
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+        with SolverService(ServiceConfig(workers=2, cache=tmp)) as service:
+            tally = _serve_traffic(service, tenants=2, per_tenant=6,
+                                   problems=problems, knobs=knobs)
+            snapshot = service.metrics.snapshot()
+    print(f"outcomes: {tally['ok']} solved, {tally['cached']} cached, "
+          f"{tally['rejected']} rejected, {tally['failed']} failed")
+    print(format_serve_summary(snapshot))
+    measured = regress.metrics_from_serve(snapshot)
+    if args.write_baseline:
+        doc = {"schema": 1, "kind": "serve-baseline", "metrics": measured}
+        regress.write_baseline(args.write_baseline, doc)
+        print(f"serve baseline written to {args.write_baseline}")
+    if args.check:
+        doc = json.loads(Path(args.check).read_text())
+        baseline = regress.flatten(
+            doc.get("metrics", doc) if isinstance(doc, dict) else {}
+        )
+        report = regress.compare(baseline, measured,
+                                 tolerance=args.tolerance)
+        print(report.format())
+        return 0 if report.ok else 1
+    return 0 if tally["failed"] == 0 else 1
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     problem = JacobiProblem(n=args.n, iterations=args.iterations)
     machine = preset("nacl", nodes=args.nodes)
@@ -763,6 +1040,8 @@ def main(argv: list[str] | None = None) -> int:
         "critpath": _cmd_critpath,
         "trace-diff": _cmd_trace_diff,
         "experiment": _cmd_experiment,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
         "validate": _cmd_validate,
         "machines": _cmd_machines,
     }

@@ -90,6 +90,7 @@ def run(
     tune_seed: int = 0,
     metrics=None,
     on_executor=None,
+    executor_factory=None,
 ) -> RunResult:
     """Run ``problem`` with one implementation on one machine model.
 
@@ -120,6 +121,14 @@ def run(
     resulting snapshot is exposed as ``result.metrics``.
     ``on_executor`` is called with the live engine/executor just
     before the run starts, so a monitor can poll its ``progress()``.
+
+    ``executor_factory`` is the warm-pool reuse hook for the real
+    backends: when given, it is called as ``factory(graph, backend=...,
+    jobs=..., procs=..., policy=..., trace=..., metrics=...)`` and must
+    return a ready executor (typically a pooled instance re-armed via
+    its ``reset()`` contract) instead of this function constructing a
+    fresh one.  The simulator builds no pool, so combining a factory
+    with ``backend="sim"`` is an error.
 
     All selector strings are validated here, before any graph is
     built, so a typo fails with the list of choices instead of a
@@ -224,12 +233,25 @@ def run(
             help="remote payload the graph implies",
         ).set(census.remote_bytes)
 
-    if backend == "threads":
-        from ..exec.executor import ThreadedExecutor
-
-        executor = ThreadedExecutor(
-            built.graph, jobs=jobs, policy=policy, trace=trace, metrics=metrics
+    if executor_factory is not None and backend == "sim":
+        raise ValueError(
+            "executor_factory is the warm-pool hook of the real backends; "
+            "it does not apply to backend='sim'"
         )
+
+    if backend == "threads":
+        if executor_factory is not None:
+            executor = executor_factory(
+                built.graph, backend="threads", jobs=jobs, policy=policy,
+                trace=trace, metrics=metrics,
+            )
+        else:
+            from ..exec.executor import ThreadedExecutor
+
+            executor = ThreadedExecutor(
+                built.graph, jobs=jobs, policy=policy, trace=trace,
+                metrics=metrics,
+            )
         if on_executor is not None:
             on_executor(executor)
         report = executor.run()
@@ -247,12 +269,18 @@ def run(
         )
 
     if backend == "processes":
-        from ..exec.procs import ProcessExecutor
+        if executor_factory is not None:
+            executor = executor_factory(
+                built.graph, backend="processes", procs=machine.nodes,
+                jobs=jobs, policy=policy, trace=trace, metrics=metrics,
+            )
+        else:
+            from ..exec.procs import ProcessExecutor
 
-        executor = ProcessExecutor(
-            built.graph, procs=machine.nodes, jobs=jobs, policy=policy,
-            trace=trace, metrics=metrics,
-        )
+            executor = ProcessExecutor(
+                built.graph, procs=machine.nodes, jobs=jobs, policy=policy,
+                trace=trace, metrics=metrics,
+            )
         if on_executor is not None:
             on_executor(executor)
         report = executor.run()

@@ -147,24 +147,31 @@ class ThreadedExecutor:
         self.policy = policy.lower()
         self.want_trace = trace
         self.metrics = metrics
+        # The lock/condition outlive resets (a warm pool may hold
+        # references); everything per-run lives in _reset_state().
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._reset_state()
+        self._check_executable()
+
+    def _reset_state(self) -> None:
+        """(Re)initialise every piece of per-run state, so one
+        executor instance can run graph after graph on a warm pool."""
         #: per-worker kind tallies; worker ``w`` is the only writer of
         #: slot ``w``, so recording is lock-free like the recorder lanes
         self._kind_counts: list[dict[str, int]] | None = (
-            [{} for _ in range(self.jobs)] if metrics is not None else None
+            [{} for _ in range(self.jobs)] if self.metrics is not None else None
         )
         self._queues = make_work_queues(self.policy, self.jobs)
-        self._check_executable()
 
         # Bookkeeping shared by all workers, guarded by _lock.
-        self._lock = threading.Lock()
-        self._work_ready = threading.Condition(self._lock)
         self._pending: dict[TaskKey, int] = {}
         self._release: dict[TaskKey, list[TaskKey]] = {}
         self._store: dict[tuple[TaskKey, str], list] = {}
         self._refcount: dict[tuple[TaskKey, str], int] = {}
         self._results: dict[tuple[TaskKey, str], object] = {}
         self._completed: set[TaskKey] = set()
-        self._unfinished = len(graph)
+        self._unfinished = len(self.graph)
         self._steals = 0
         self._failure: BaseException | None = None
         self._cancelled = False
@@ -175,6 +182,39 @@ class ThreadedExecutor:
         self._threads: list[threading.Thread] = []
         self._t_begin = 0.0
         self._t_end = 0.0
+
+    # -- reuse contract (warm pools) -------------------------------------
+
+    def _run_in_flight(self) -> bool:
+        return self._started and not (
+            self._handle is not None and self._handle.done()
+        )
+
+    def reset(self, graph: TaskGraph | None = None) -> "ThreadedExecutor":
+        """Re-arm this executor for another run, optionally binding a
+        new ``graph``.  The warm-pool reuse contract: after a run
+        completes (cleanly or not), ``reset()`` restores the instance
+        to its freshly-constructed state -- same jobs/policy/metrics,
+        empty bookkeeping -- without reallocating the executor itself.
+        Raises while a run is still in flight."""
+        if self._run_in_flight():
+            raise RuntimeError(
+                "cannot reset an executor while its run is in flight"
+            )
+        if graph is not None:
+            graph.finalize()
+            self.graph = graph
+        self._reset_state()
+        self._check_executable()
+        return self
+
+    def is_healthy(self) -> bool:
+        """Whether this executor is usable (or currently running
+        cleanly): a failed or cancelled run leaves it unhealthy until
+        :meth:`reset`."""
+        if not self._started:
+            return True
+        return self._failure is None and not self._cancelled
 
     # -- validation -----------------------------------------------------
 
@@ -209,7 +249,10 @@ class ThreadedExecutor:
     def start(self) -> RunHandle:
         """Launch the worker pool; returns immediately with the handle."""
         if self._started:
-            raise RuntimeError("a ThreadedExecutor instance runs exactly once")
+            raise RuntimeError(
+                "a ThreadedExecutor instance runs exactly once per "
+                "reset(); call reset() to re-arm it for another graph"
+            )
         self._started = True
         self._handle = RunHandle(self._request_cancel)
         self._seed(self._prepare())

@@ -630,12 +630,55 @@ class ProcessExecutor:
             "procs": self.procs,
         }
 
+    # -- reuse contract (warm pools) -------------------------------------
+
+    def _run_in_flight(self) -> bool:
+        return self._started and not (
+            self._handle is not None and self._handle.done()
+        )
+
+    def reset(self) -> "ProcessExecutor":
+        """Re-arm this executor for another run of the same graph.
+        The node processes themselves are per-run (they inherit the
+        graph via fork at :meth:`start`); what reset restores is the
+        parent-side lifecycle so a pool can hold one executor object
+        per slot.  Raises while a run is still in flight."""
+        if self._run_in_flight():
+            raise RuntimeError(
+                "cannot reset an executor while its run is in flight"
+            )
+        self._started = False
+        self._processes = []
+        self._ctrl = {}
+        self._handle = None
+        self._epoch = 0.0
+        self._cancel_at = None
+        return self
+
+    def is_healthy(self) -> bool:
+        """Whether this executor is usable or running cleanly: every
+        forked node process alive mid-run, every one reaped with a
+        clean outcome after; a failed/cancelled run leaves it
+        unhealthy until :meth:`reset`."""
+        if not self._started:
+            return True
+        handle = self._handle
+        if handle is None or not handle.done():
+            return all(p.is_alive() for p in self._processes)
+        try:
+            return handle.exception(timeout=0) is None
+        except Exception:  # pragma: no cover - defensive
+            return False
+
     # -- public API -----------------------------------------------------
 
     def start(self) -> ProcsRunHandle:
         """Fork the node processes; returns immediately with the handle."""
         if self._started:
-            raise RuntimeError("a ProcessExecutor instance runs exactly once")
+            raise RuntimeError(
+                "a ProcessExecutor instance runs exactly once per "
+                "reset(); call reset() to re-arm it for another run"
+            )
         self._started = True
         ctx = mp.get_context("fork")
 

@@ -41,16 +41,15 @@ class MachineSpec:
 
     def fingerprint(self) -> str:
         """Short stable hash over *every* calibrated constant of this
-        spec (node, network, node count).  The tuning cache keys
-        entries by it, so editing any bandwidth, overhead or cache
-        size invalidates every dependent tuning result instead of
-        silently serving a stale optimum."""
-        import dataclasses
-        import hashlib
-        import json
+        spec (node, network, node count).  The tuning cache and the
+        serve result cache key entries by it, so editing any
+        bandwidth, overhead or cache size invalidates every dependent
+        entry instead of silently serving a stale result.  (Lazy
+        import: ``core.signature`` is the shared hashing scheme, and
+        this module must stay importable before ``repro.core``.)"""
+        from ..core.signature import fingerprint_dataclass
 
-        blob = json.dumps(dataclasses.asdict(self), sort_keys=True)
-        return hashlib.sha256(blob.encode()).hexdigest()[:12]
+        return fingerprint_dataclass(self)
 
     def local_copy_time(self, nbytes: float) -> float:
         """Time to memcpy ``nbytes`` within a node (ghost exchange

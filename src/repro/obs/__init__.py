@@ -35,8 +35,18 @@ from .metrics import (
     MetricRegistry,
     MetricsSnapshot,
 )
-from .monitor import RunMonitor, format_summary, monitored_run
-from .regress import RegressReport, compare, load_baseline
+from .monitor import (
+    RunMonitor,
+    format_serve_summary,
+    format_summary,
+    monitored_run,
+)
+from .regress import (
+    RegressReport,
+    compare,
+    load_baseline,
+    metrics_from_serve,
+)
 
 #: Environment variable enabling the debug-mode trace validation the
 #: engine and both real backends run after a traced run.
@@ -66,8 +76,10 @@ __all__ = [
     "diff_results",
     "diff_traces",
     "find_stragglers",
+    "format_serve_summary",
     "format_summary",
     "load_baseline",
+    "metrics_from_serve",
     "monitored_run",
     "publish_critpath_metrics",
     "trace_validation_enabled",

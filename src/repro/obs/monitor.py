@@ -28,12 +28,17 @@ from __future__ import annotations
 
 import sys
 import threading
-import time
 from typing import Any, Callable, TextIO
 
 from .metrics import MetricsSnapshot
 
-__all__ = ["RunMonitor", "monitored_run", "format_sample", "format_summary"]
+__all__ = [
+    "RunMonitor",
+    "monitored_run",
+    "format_sample",
+    "format_serve_summary",
+    "format_summary",
+]
 
 
 def format_sample(p: dict[str, Any], census_messages: int | None = None) -> str:
@@ -63,6 +68,8 @@ def format_sample(p: dict[str, Any], census_messages: int | None = None) -> str:
             parts.append(f"msgs {msgs}")
     if "procs_alive" in p:
         parts.append(f"procs {p['procs_alive']}/{p.get('procs', '?')} alive")
+    if "queue_depth" in p:
+        parts.append(f"queue {p['queue_depth']}")
     return "  ".join(parts) if parts else "(no progress data)"
 
 
@@ -215,6 +222,9 @@ def format_summary(
     trials = snapshot.counter("tuning_trials_total")
     if trials:
         row("tuning trials", f"{trials:.0f}")
+    serve = format_serve_summary(snapshot)
+    if serve:
+        lines.append(serve)
     crit = snapshot.gauge("critpath_seconds")
     if crit:
         row("critical path", f"{crit:.6f} s")
@@ -228,4 +238,59 @@ def format_summary(
         ):
             row(f"  blame={dict(ls).get('blame', '?')}",
                 f"{state['value']:.6f} s")
+    return "\n".join(lines)
+
+
+def format_serve_summary(snapshot: MetricsSnapshot) -> str:
+    """The serving section of a metrics summary (empty string when the
+    snapshot carries no ``serve_*`` metrics -- i.e. the run was a
+    plain solve, not a service)."""
+    submitted = snapshot.counter("serve_jobs_submitted_total")
+    hits = snapshot.counter("serve_cache_hits_total")
+    misses = snapshot.counter("serve_cache_misses_total")
+    if not (submitted or hits or misses):
+        return ""
+    lines: list[str] = ["serve summary"]
+
+    def row(label: str, value: str) -> None:
+        lines.append(f"  {label:<28} {value}")
+
+    row("jobs submitted", f"{submitted:.0f}")
+    for ls, count in sorted(
+        snapshot.labelled("serve_jobs_completed_total").items()
+    ):
+        row(f"  status={dict(ls).get('status', '?')}", f"{count:.0f}")
+    if hits or misses:
+        rate = hits / (hits + misses)
+        row("result cache hit-rate",
+            f"{rate:.2f} ({hits:.0f}/{hits + misses:.0f})")
+    warm = snapshot.counter("serve_pool_warm_starts_total")
+    cold = snapshot.counter("serve_pool_cold_starts_total")
+    if warm or cold:
+        row("executor starts", f"{warm:.0f} warm / {cold:.0f} cold")
+    replaced = snapshot.counter("serve_pool_replaced_total")
+    retired = snapshot.counter("serve_pool_retired_total")
+    if replaced or retired:
+        row("pool churn",
+            f"{replaced:.0f} replaced / {retired:.0f} retired")
+    batches = snapshot.counter("serve_batches_total")
+    if batches:
+        batched = snapshot.counter("serve_batched_jobs_total")
+        row("batches", f"{batches:.0f} ({batched / batches:.1f} jobs/batch)")
+        dedup = snapshot.counter("serve_dedup_total")
+        if dedup:
+            row("deduplicated jobs", f"{dedup:.0f}")
+    rejects = snapshot.counter("serve_admission_rejects_total")
+    if rejects:
+        row("admission rejects", f"{rejects:.0f}")
+    expired = snapshot.counter("serve_deadline_expired_total")
+    if expired:
+        row("deadline expiries", f"{expired:.0f}")
+    depth = snapshot.labelled("serve_queue_depth").get((), None)
+    if depth is not None:
+        row("queue depth (peak)", f"{depth['max']:.0f}")
+    inflight = snapshot.labelled("serve_tenant_inflight")
+    for ls, state in sorted(inflight.items()):
+        row(f"  tenant={dict(ls).get('tenant', '?')} in-flight peak",
+            f"{state['max']:.0f}")
     return "\n".join(lines)

@@ -40,6 +40,7 @@ __all__ = [
     "load_baseline",
     "measure_bench_tuning",
     "metrics_from_result",
+    "metrics_from_serve",
     "write_baseline",
 ]
 
@@ -49,11 +50,16 @@ BASELINE_KIND = "obs-baseline"
 #: means "informational, never gated" (config knobs, timestamps).
 _SKIP_HINTS = ("unix_time", "timestamp", "paper_range", "budget",
                "tile", "steps", "problem_n", "seed", "nodes", "jobs",
-               "procs", "workers")
+               "procs", "workers",
+               # Admission rejects are the service *doing its job*
+               # under overload, not a regression either way.
+               "reject", "batch_size")
 _LOWER_HINTS = ("elapsed", "makespan", "seconds", "latency", "messages",
-                "bytes", "runs_used", "misses", "redundant", "comm_share")
+                "bytes", "runs_used", "misses", "redundant", "comm_share",
+                "cold_start", "expired")
 _HIGHER_HINTS = ("gflops", "occupancy", "hit_rate", "hits", "speedup",
-                 "efficiency", "bandwidth", "critpath_ratio")
+                 "efficiency", "bandwidth", "critpath_ratio",
+                 "warm_start", "throughput")
 
 
 def direction(name: str) -> str | None:
@@ -225,6 +231,32 @@ def metrics_from_result(result: Any) -> dict[str, float]:
             out["critpath_comm_share"] = float(
                 snapshot.gauge("critpath_comm_share")
             )
+    return out
+
+
+def metrics_from_serve(snapshot: Any) -> dict[str, float]:
+    """The gated serving metrics of a service's snapshot.
+
+    Rates rather than raw counts, so baselines survive workload-size
+    changes: cache hit-rate and warm-start rate gate *higher*-better,
+    deadline expiries *lower*-better, admission rejects are recorded
+    but neutral (a loaded service rejecting is correct behaviour).
+    """
+    out: dict[str, float] = {}
+    hits = snapshot.counter("serve_cache_hits_total")
+    misses = snapshot.counter("serve_cache_misses_total")
+    if hits or misses:
+        out["serve_cache_hit_rate"] = hits / (hits + misses)
+    warm = snapshot.counter("serve_pool_warm_starts_total")
+    cold = snapshot.counter("serve_pool_cold_starts_total")
+    if warm or cold:
+        out["serve_warm_start_rate"] = warm / (warm + cold)
+    rejects = snapshot.counter("serve_admission_rejects_total")
+    if rejects:
+        out["serve_admission_rejects"] = float(rejects)
+    expired = snapshot.counter("serve_deadline_expired_total")
+    if expired:
+        out["serve_deadline_expired"] = float(expired)
     return out
 
 

@@ -1,0 +1,60 @@
+"""``repro.serve``: a persistent stencil-solver service.
+
+Instead of paying graph construction, pool spin-up and executor
+tear-down per ``run()`` call, a :class:`SolverService` keeps warm
+executor pools alive across jobs, batches compatible small solves
+into single submissions, admits work through a bounded multi-tenant
+queue, and serves repeated requests straight from a content-keyed
+result cache -- with every stage instrumented through
+:mod:`repro.obs`.
+
+Quick start::
+
+    from repro.serve import ServiceConfig, SolverClient, SolverService
+
+    with SolverService(ServiceConfig(workers=2)) as svc:
+        client = SolverClient(svc, tenant="alice")
+        outcome = client.solve(problem, impl="ca-parsec", tile=64)
+
+See ``docs/serving.md`` for the architecture and the ops runbook.
+"""
+
+from .batch import Batch, BatchCollector
+from .cache import ResultCache, default_cache_dir
+from .client import SolverClient
+from .pool import WarmSlot, WorkerPool, execute_request
+from .queue import Job, JobQueue
+from .request import (
+    DeadlineExpired,
+    QueueFullError,
+    ServeError,
+    ServiceClosed,
+    SolveOutcome,
+    SolveRequest,
+    WorkerDied,
+    outcome_from_result,
+)
+from .service import ServiceConfig, SolverService
+
+__all__ = [
+    "Batch",
+    "BatchCollector",
+    "DeadlineExpired",
+    "Job",
+    "JobQueue",
+    "QueueFullError",
+    "ResultCache",
+    "ServeError",
+    "ServiceClosed",
+    "ServiceConfig",
+    "SolveOutcome",
+    "SolveRequest",
+    "SolverClient",
+    "SolverService",
+    "WarmSlot",
+    "WorkerDied",
+    "WorkerPool",
+    "default_cache_dir",
+    "execute_request",
+    "outcome_from_result",
+]

@@ -1,0 +1,255 @@
+"""Content-keyed result cache: solve signature -> grid + report.
+
+Generalises the :mod:`repro.tuning.cache` persistence pattern (one
+schema-versioned JSON index, atomic temp-file + ``os.replace`` writes,
+re-read-before-replace merge) from "best-known knobs" to "the answer
+itself":
+
+* the key is :meth:`SolveRequest.signature` -- a content hash over
+  everything that shapes the solution grid (problem data, machine
+  fingerprint, impl, tile/steps/ratio), so a hit is *guaranteed*
+  bit-identical to recomputing (the conformance suite proves schedule
+  knobs cannot change the answer);
+* grids live beside the index as compressed ``.npz`` payloads, one
+  file per entry, also written atomically, so the index stays small
+  and corruption of one payload loses one entry, not the store;
+* the store is LRU-bounded (``max_entries``): inserts evict the
+  least-recently-used entries and unlink their payloads.  Recency
+  from ``get`` is tracked in memory and folded into the index on the
+  next ``put`` (best-effort: a read-only session does not persist
+  recency, which costs at worst a suboptimal eviction, never a wrong
+  answer);
+* a small in-memory layer keeps the hottest grids loaded so repeat
+  submissions in one service process skip the disk entirely.
+
+Unknown schema versions are ignored wholesale, never migrated.
+All hit/miss/eviction counters are bumped inside the cache lock
+(single-writer discipline of :mod:`repro.obs.metrics`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+from .request import SolveOutcome
+
+#: Bump when the entry layout changes; old stores are treated as empty.
+SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_SERVE_CACHE`` or ``~/.cache/repro/serve``."""
+    env = os.environ.get("REPRO_SERVE_CACHE")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro" / "serve"
+
+
+def _atomic_write(path: Path, write) -> None:
+    """Write via a sibling temp file + ``os.replace`` (same discipline
+    as the tuning cache: a killed writer corrupts nothing)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            write(fh)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class ResultCache:
+    """Disk-backed LRU map from solve signature to
+    :class:`~repro.serve.request.SolveOutcome`."""
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        max_entries: int = 256,
+        memory_entries: int = 32,
+        metrics=None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.root = Path(path) if path is not None else default_cache_dir()
+        self.index_path = self.root / "index.json"
+        self.max_entries = max_entries
+        self.memory_entries = memory_entries
+        self._lock = threading.Lock()
+        self._mem: OrderedDict[str, SolveOutcome] = OrderedDict()
+        #: get-side recency not yet persisted (folded in on put)
+        self._touched: dict[str, float] = {}
+
+        self._metrics = metrics
+        if metrics is not None:
+            self._c_hits = metrics.counter(
+                "serve_cache_hits_total", "result-cache hits", "requests"
+            )
+            self._c_misses = metrics.counter(
+                "serve_cache_misses_total", "result-cache misses", "requests"
+            )
+            self._c_stores = metrics.counter(
+                "serve_cache_stores_total", "result-cache inserts", "entries"
+            )
+            self._c_evictions = metrics.counter(
+                "serve_cache_evictions_total", "LRU evictions", "entries"
+            )
+
+    # -- IO --------------------------------------------------------------
+
+    def _load(self) -> dict:
+        try:
+            doc = json.loads(self.index_path.read_text())
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(doc, dict) or doc.get("schema") != SCHEMA_VERSION:
+            return {}
+        entries = doc.get("entries")
+        return entries if isinstance(entries, dict) else {}
+
+    def _store(self, entries: dict) -> None:
+        doc = {"schema": SCHEMA_VERSION, "entries": entries}
+        blob = json.dumps(doc, indent=2, sort_keys=True).encode()
+        _atomic_write(self.index_path, lambda fh: fh.write(blob))
+
+    def _grid_path(self, signature: str) -> Path:
+        return self.root / f"{signature[:24]}.npz"
+
+    # -- API -------------------------------------------------------------
+
+    def get(self, signature: str) -> SolveOutcome | None:
+        """The cached outcome (marked ``cached=True``) or None.  A hit
+        means the stored grid is bit-identical to recomputing the
+        request: the signature covers every answer-shaping input."""
+        with self._lock:
+            hot = self._mem.get(signature)
+            if hot is not None:
+                self._mem.move_to_end(signature)
+                self._touched[signature] = time.time()
+                if self._metrics is not None:
+                    self._c_hits.inc()
+                return self._copy_hit(hot)
+
+            entry = self._load().get(signature)
+            grid = None
+            if entry is not None and entry.get("grid"):
+                try:
+                    with np.load(self.root / entry["grid"]) as payload:
+                        grid = payload["grid"]
+                except (OSError, ValueError, KeyError):
+                    entry = None  # payload lost -> treat as a miss
+            if entry is None:
+                if self._metrics is not None:
+                    self._c_misses.inc()
+                return None
+            outcome = SolveOutcome.from_doc(entry["meta"], grid)
+            self._remember(signature, outcome)
+            self._touched[signature] = time.time()
+            if self._metrics is not None:
+                self._c_hits.inc()
+            return self._copy_hit(outcome)
+
+    def put(self, signature: str, outcome: SolveOutcome) -> None:
+        """Insert (or refresh) one outcome; evicts LRU entries beyond
+        ``max_entries``.  The index is re-read immediately before the
+        atomic replace, so concurrent services merge rather than
+        clobber each other."""
+        with self._lock:
+            grid_name = None
+            if outcome.grid is not None:
+                grid_name = self._grid_path(signature).name
+                grid = np.ascontiguousarray(outcome.grid)
+                _atomic_write(
+                    self._grid_path(signature),
+                    lambda fh: np.savez_compressed(fh, grid=grid),
+                )
+            now = time.time()
+            entries = self._load()
+            for sig, ts in self._touched.items():
+                if sig in entries and ts > entries[sig].get("used", 0):
+                    entries[sig]["used"] = ts
+            self._touched.clear()
+            entries[signature] = {
+                "meta": outcome.to_doc(),
+                "grid": grid_name,
+                "created": now,
+                "used": now,
+            }
+            evicted = self._evict_locked(entries)
+            self._store(entries)
+            self._remember(signature, outcome)
+            if self._metrics is not None:
+                self._c_stores.inc()
+                if evicted:
+                    self._c_evictions.inc(evicted)
+
+    def clear(self) -> None:
+        with self._lock:
+            entries = self._load()
+            for entry in entries.values():
+                self._unlink_grid(entry)
+            self._store({})
+            self._mem.clear()
+            self._touched.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._load())
+
+    def entries(self) -> dict:
+        """A copy of the on-disk index (metadata only, no grids)."""
+        with self._lock:
+            return self._load()
+
+    # -- internals -------------------------------------------------------
+
+    def _copy_hit(self, outcome: SolveOutcome) -> SolveOutcome:
+        from dataclasses import replace
+
+        return replace(outcome, cached=True)
+
+    def _remember(self, signature: str, outcome: SolveOutcome) -> None:
+        if outcome.grid is not None:
+            try:
+                outcome.grid.setflags(write=False)  # hits share this array
+            except ValueError:
+                pass
+        self._mem[signature] = outcome
+        self._mem.move_to_end(signature)
+        while len(self._mem) > self.memory_entries:
+            self._mem.popitem(last=False)
+
+    def _evict_locked(self, entries: dict) -> int:
+        overflow = len(entries) - self.max_entries
+        if overflow <= 0:
+            return 0
+        victims = sorted(entries, key=lambda s: entries[s].get("used", 0))
+        for sig in victims[:overflow]:
+            self._unlink_grid(entries.pop(sig))
+            self._mem.pop(sig, None)
+        return overflow
+
+    def _unlink_grid(self, entry: dict) -> None:
+        name = entry.get("grid")
+        if name:
+            try:
+                os.unlink(self.root / name)
+            except OSError:
+                pass
+
+
+__all__ = ["ResultCache", "SCHEMA_VERSION", "default_cache_dir"]

@@ -1,0 +1,530 @@
+"""Warm executor pools: reusable solve capacity surviving across jobs.
+
+Two pool kinds, one contract:
+
+* ``"threads"`` -- each worker is an in-process :class:`WarmSlot`
+  holding a :class:`~repro.exec.executor.ThreadedExecutor` that is
+  re-armed with :meth:`~repro.exec.executor.ThreadedExecutor.reset`
+  between jobs instead of being reconstructed (the warm start the
+  bench measures).  Concurrency comes from the service's runner
+  threads; the pool hands out slots.
+* ``"processes"`` -- each worker is a persistent forked child with a
+  duplex pipe, in the style of Parsl's HTEX interchange loop: the
+  parent ships a pickled batch of requests, the child solves them on
+  its own warm slot and ships back reduced outcomes plus a metrics
+  snapshot the parent merges (counter exactness across the process
+  boundary, same scheme the procs backend uses).  Children survive
+  across batches; a dead child is detected at acquire/release and
+  replaced.
+
+Shared lifecycle: ``acquire`` health-checks and replaces dead
+workers, ``release`` returns them to the idle list, ``reap_idle``
+retires workers idle beyond the timeout down to ``min_workers``
+(called from the service's reaper loop), ``shutdown`` closes
+everything.  All pool metrics are bumped inside the pool lock;
+slot-level warm/cold counters go into the per-batch registry the
+executing worker owns (single-writer discipline throughout).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import time
+from typing import Callable
+
+from .request import (
+    DeadlineExpired,
+    SolveRequest,
+    WorkerDied,
+    outcome_from_result,
+)
+
+#: One unit of pool work: (job seq, request, absolute monotonic
+#: deadline or None).  Sequence numbers let the reaper target the
+#: currently-running job.
+WorkItem = tuple[int, SolveRequest, float | None]
+
+
+class WarmSlot:
+    """Per-worker reusable executor state, plugged into
+    :func:`repro.core.runner.run` via its ``executor_factory`` hook.
+
+    Threads-backend runs reuse one :class:`ThreadedExecutor` instance
+    across jobs (``reset()`` re-arms it; an unhealthy survivor of a
+    failed/cancelled run is replaced).  Processes-backend runs always
+    construct cold: the node processes are per-run by design, so
+    there is nothing to keep warm below the serve pool itself.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._executor = None
+        self.last_was_warm = False
+        self.warm_starts = 0
+        self.cold_starts = 0
+
+    def factory(
+        self,
+        graph,
+        backend: str = "threads",
+        jobs: int | None = None,
+        procs: int | None = None,
+        policy: str = "priority",
+        trace: bool = False,
+        metrics=None,
+    ):
+        self.last_was_warm = False
+        if backend == "threads":
+            from ..exec.executor import ThreadedExecutor, default_jobs
+
+            ex = self._executor
+            reusable = (
+                ex is not None
+                and ex.is_healthy()
+                and not ex._run_in_flight()
+            )
+            if reusable:
+                # reset() rebuilds all per-run state from these attrs.
+                ex.jobs = jobs if jobs is not None else default_jobs()
+                ex.policy = policy.lower()
+                ex.want_trace = trace
+                ex.metrics = metrics
+                ex.reset(graph)
+                self.last_was_warm = True
+                self.warm_starts += 1
+            else:
+                if ex is not None:
+                    self._executor = None  # unhealthy survivor dropped
+                ex = ThreadedExecutor(
+                    graph, jobs=jobs, policy=policy, trace=trace,
+                    metrics=metrics,
+                )
+                self._executor = ex
+                self.cold_starts += 1
+        else:
+            from ..exec.procs import ProcessExecutor
+
+            ex = ProcessExecutor(
+                graph, procs=procs, jobs=jobs, policy=policy, trace=trace,
+                metrics=metrics,
+            )
+            self.cold_starts += 1
+        if metrics is not None:
+            # The executing worker owns this registry for the batch.
+            kind = "warm" if self.last_was_warm else "cold"
+            metrics.counter(
+                f"serve_pool_{kind}_starts_total",
+                f"executor {kind} starts", "starts",
+            ).inc(slot=self.name)
+        return ex
+
+
+def execute_request(
+    request: SolveRequest,
+    slot: WarmSlot | None = None,
+    metrics=None,
+    on_executor: Callable | None = None,
+):
+    """Run one request to a reduced
+    :class:`~repro.serve.request.SolveOutcome`.
+
+    Serving always runs ``mode="execute"`` -- the product is the
+    solution grid.  The warm ``slot`` is threaded through the runner's
+    ``executor_factory`` hook for the real backends; the simulator
+    builds no pool, so sim requests skip it.
+    """
+    from ..core.runner import run
+
+    factory = None
+    if slot is not None and request.backend != "sim":
+        factory = slot.factory
+    result = run(
+        request.problem,
+        impl=request.impl,
+        machine=request.machine,
+        tile=request.tile,
+        steps=request.steps,
+        ratio=request.ratio,
+        mode="execute",
+        policy=request.policy,
+        backend=request.backend,
+        jobs=request.jobs,
+        metrics=metrics,
+        on_executor=on_executor,
+        executor_factory=factory,
+    )
+    return outcome_from_result(
+        result,
+        signature=request.signature(),
+        tenant=request.tenant,
+        warm=slot.last_was_warm if slot is not None else False,
+    )
+
+
+def _run_items(items: list[WorkItem], slot: WarmSlot, capture=None):
+    """Shared worker loop: solve each item on ``slot``, honouring
+    per-item deadlines, into ``(status, payload)`` pairs plus the
+    batch's metrics snapshot."""
+    from ..exec.futures import RunCancelled
+    from ..obs.metrics import MetricRegistry
+
+    reg = MetricRegistry()
+    out: list[tuple[str, object]] = []
+    for seq, request, deadline in items:
+        if deadline is not None and time.monotonic() >= deadline:
+            out.append(("expired", DeadlineExpired(
+                f"job {seq} expired before execution started"
+            )))
+            continue
+        try:
+            if capture is not None:
+                capture.arm(seq)
+            outcome = execute_request(
+                request, slot=slot, metrics=reg,
+                on_executor=capture.seen if capture is not None else None,
+            )
+            out.append(("ok", outcome))
+        except RunCancelled:
+            out.append(("expired", DeadlineExpired(
+                f"job {seq} cancelled at its deadline mid-run"
+            )))
+        except Exception as exc:  # noqa: BLE001 - forwarded to the future
+            out.append(("error", exc))
+        finally:
+            if capture is not None:
+                capture.disarm()
+    return out, reg.snapshot()
+
+
+class _CancelScope:
+    """Tracks the executor of the currently-running item so the
+    service reaper can cancel exactly that job."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._seq: int | None = None
+        self._executor = None
+
+    def arm(self, seq: int) -> None:
+        with self._lock:
+            self._seq = seq
+            self._executor = None
+
+    def seen(self, executor) -> None:
+        with self._lock:
+            self._executor = executor
+
+    def disarm(self) -> None:
+        with self._lock:
+            self._seq = None
+            self._executor = None
+
+    def cancel(self, seq: int | None = None) -> bool:
+        """Cancel the current run if it is (or ``seq`` is None) the
+        targeted job.  Races benignly with run start: the reaper
+        retries on its next tick once the handle exists."""
+        with self._lock:
+            if seq is not None and seq != self._seq:
+                return False
+            ex = self._executor
+        if ex is None:
+            return False
+        handle = getattr(ex, "_handle", None)
+        if handle is not None:
+            handle.cancel()
+            return True
+        request_cancel = getattr(ex, "_request_cancel", None)
+        if request_cancel is not None:
+            request_cancel()
+            return True
+        return False
+
+
+class InProcessWorker:
+    """Pool worker living in the service process (threads kind)."""
+
+    kind = "threads"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.slot = WarmSlot(name)
+        self.idle_since = time.monotonic()
+        self._scope = _CancelScope()
+
+    def alive(self) -> bool:
+        return True
+
+    def run_batch(self, items: list[WorkItem]):
+        return _run_items(items, self.slot, capture=self._scope)
+
+    def cancel(self, seq: int | None = None) -> bool:
+        return self._scope.cancel(seq)
+
+    def close(self) -> None:
+        self.slot._executor = None  # free the warm executor's memory
+
+
+def _pool_child_main(conn, name: str) -> None:
+    """Entry point of one persistent forked child: loop on the pipe,
+    solve batches on a child-local warm slot, ship reduced outcomes
+    and the batch's metrics snapshot back."""
+    slot = WarmSlot(name)
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if msg[0] == "stop":
+            conn.close()
+            return
+        _, items = msg
+        # Relative deadlines -> this process's monotonic clock.
+        now = time.monotonic()
+        local = [
+            (seq, req, None if remaining is None else now + remaining)
+            for seq, req, remaining in items
+        ]
+        results, snapshot = _run_items(local, slot)
+        try:
+            conn.send(("done", results, snapshot))
+        except (BrokenPipeError, OSError):
+            return
+
+
+class ProcessWorker:
+    """Pool worker backed by a persistent forked child process."""
+
+    kind = "processes"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.idle_since = time.monotonic()
+        ctx = mp.get_context("fork")
+        self._conn, child_conn = ctx.Pipe(duplex=True)
+        self._proc = ctx.Process(
+            target=_pool_child_main,
+            args=(child_conn, name),
+            name=f"repro-serve-{name}",
+            daemon=True,
+        )
+        self._proc.start()
+        child_conn.close()
+
+    def alive(self) -> bool:
+        return self._proc.is_alive()
+
+    def run_batch(self, items: list[WorkItem]):
+        now = time.monotonic()
+        wire = [
+            (seq, req, None if dl is None else max(0.0, dl - now))
+            for seq, req, dl in items
+        ]
+        try:
+            self._conn.send(("batch", wire))
+            msg = self._conn.recv()
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            raise WorkerDied(
+                f"pool worker {self.name} died mid-batch: {exc!r}"
+            ) from exc
+        _, results, snapshot = msg
+        return results, snapshot
+
+    def cancel(self, seq: int | None = None) -> bool:
+        """Deadline enforcement for a child is the blunt instrument:
+        kill it (the batch fails, the pool replaces the worker)."""
+        if not self._proc.is_alive():
+            return False
+        self._proc.terminate()
+        return True
+
+    def close(self) -> None:
+        if self._proc.is_alive():
+            try:
+                self._conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            self._proc.join(timeout=0.5)
+            if self._proc.is_alive():
+                self._proc.terminate()
+                self._proc.join(timeout=0.5)
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+
+class WorkerPool:
+    """Fixed-capacity pool of warm workers with idle shrink and
+    health-checked replacement."""
+
+    def __init__(
+        self,
+        kind: str = "threads",
+        max_workers: int = 2,
+        min_workers: int = 1,
+        idle_timeout_s: float | None = 30.0,
+        metrics=None,
+        name: str = "pool",
+    ) -> None:
+        if kind not in ("threads", "processes"):
+            raise ValueError(
+                f"unknown pool kind {kind!r}; choices: ('threads', 'processes')"
+            )
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.kind = kind
+        self.max_workers = max_workers
+        self.min_workers = max(0, min(min_workers, max_workers))
+        self.idle_timeout_s = idle_timeout_s
+        self.name = name
+        self._lock = threading.Lock()
+        self._free = threading.Condition(self._lock)
+        self._idle: list = []
+        self._busy: set = set()
+        self._spawned = 0
+        self._closed = False
+
+        self._metrics = metrics
+        if metrics is not None:
+            self._g_workers = metrics.gauge(
+                "serve_pool_workers", "live pool workers", "workers"
+            )
+            self._c_replaced = metrics.counter(
+                "serve_pool_replaced_total",
+                "dead workers replaced by health checks", "workers",
+            )
+            self._c_retired = metrics.counter(
+                "serve_pool_retired_total",
+                "workers retired by the idle timeout", "workers",
+            )
+
+    # -- internals -------------------------------------------------------
+
+    def _spawn_locked(self):
+        self._spawned += 1
+        name = f"{self.name}-{self.kind}-{self._spawned}"
+        worker = (
+            InProcessWorker(name) if self.kind == "threads"
+            else ProcessWorker(name)
+        )
+        if self._metrics is not None:
+            self._g_workers.set(len(self._idle) + len(self._busy) + 1)
+        return worker
+
+    def _note_size_locked(self) -> None:
+        if self._metrics is not None:
+            self._g_workers.set(len(self._idle) + len(self._busy))
+
+    # -- API -------------------------------------------------------------
+
+    def acquire(self, timeout: float | None = None):
+        """A healthy worker, or None on timeout.  Dead idle workers
+        found here are closed and replaced transparently."""
+        limit = None if timeout is None else time.monotonic() + timeout
+        with self._free:
+            while True:
+                if self._closed:
+                    raise WorkerDied("pool is shut down")
+                while self._idle:
+                    worker = self._idle.pop()
+                    if worker.alive():
+                        self._busy.add(worker)
+                        return worker
+                    worker.close()
+                    if self._metrics is not None:
+                        self._c_replaced.inc(kind=self.kind)
+                    # fall through: spawn (or wait) below
+                if len(self._busy) < self.max_workers:
+                    worker = self._spawn_locked()
+                    self._busy.add(worker)
+                    return worker
+                if limit is not None:
+                    remaining = limit - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._free.wait(remaining)
+                else:
+                    self._free.wait()
+
+    def release(self, worker) -> None:
+        """Return a worker; a dead one is dropped (and counted as
+        replaced -- the next acquire spawns its successor)."""
+        with self._free:
+            self._busy.discard(worker)
+            if self._closed:
+                worker.close()
+            elif worker.alive():
+                worker.idle_since = time.monotonic()
+                self._idle.append(worker)
+            else:
+                worker.close()
+                if self._metrics is not None:
+                    self._c_replaced.inc(kind=self.kind)
+            self._note_size_locked()
+            self._free.notify()
+
+    def reap_idle(self, now: float | None = None) -> int:
+        """Retire workers idle beyond ``idle_timeout_s`` down to
+        ``min_workers``; returns how many were retired."""
+        if self.idle_timeout_s is None:
+            return 0
+        now = time.monotonic() if now is None else now
+        retired = []
+        with self._free:
+            keep = []
+            total = len(self._idle) + len(self._busy)
+            for worker in self._idle:
+                if (
+                    total > self.min_workers
+                    and now - worker.idle_since > self.idle_timeout_s
+                ):
+                    retired.append(worker)
+                    total -= 1
+                else:
+                    keep.append(worker)
+            self._idle = keep
+            if retired and self._metrics is not None:
+                self._c_retired.inc(len(retired), kind=self.kind)
+            self._note_size_locked()
+        for worker in retired:
+            worker.close()
+        return len(retired)
+
+    def shutdown(self) -> None:
+        with self._free:
+            self._closed = True
+            workers = self._idle + list(self._busy)
+            self._idle = []
+            self._busy = set()
+            self._note_size_locked()
+            self._free.notify_all()
+        for worker in workers:
+            worker.close()
+
+    # -- introspection ---------------------------------------------------
+
+    def size(self) -> int:
+        with self._lock:
+            return len(self._idle) + len(self._busy)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "idle": len(self._idle),
+                "busy": len(self._busy),
+                "spawned": self._spawned,
+                "max_workers": self.max_workers,
+                "min_workers": self.min_workers,
+            }
+
+
+__all__ = [
+    "InProcessWorker",
+    "ProcessWorker",
+    "WarmSlot",
+    "WorkerPool",
+    "WorkItem",
+    "execute_request",
+]

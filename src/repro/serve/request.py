@@ -1,0 +1,268 @@
+"""Requests, outcomes and the typed errors of the solver service.
+
+A :class:`SolveRequest` is the serving-layer unit of work: a
+:class:`~repro.stencil.problem.JacobiProblem` plus the solver knobs
+that shape its *answer* (impl, machine, tile, steps, ratio) and the
+knobs that shape its *treatment* (tenant, priority, deadline).  The
+request knows its own
+
+* :meth:`~SolveRequest.signature` -- the content key the result cache
+  stores under (see :func:`repro.core.signature.solve_signature`):
+  two requests with equal signatures must produce bit-identical
+  solution grids, which the backend-conformance suite guarantees;
+* :meth:`~SolveRequest.batch_key` -- the coarser compatibility key the
+  batching window fuses on: requests sharing it run on the same
+  machine model, implementation and tile shape, so dispatching them
+  as one pool submission amortises per-job overhead without changing
+  any answer.
+
+A :class:`SolveOutcome` is the reduced, pickle-friendly result the
+service hands back: the solution grid plus the report scalars, *not*
+the full :class:`~repro.core.report.RunResult` (graphs and kernels do
+not cross process boundaries and would pin memory in the cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+from ..machine.machine import MachineSpec, nacl
+from ..stencil.problem import JacobiProblem
+
+#: Implementations a request may name (mirrors the runner's list; kept
+#: here so request validation does not import the runner eagerly).
+IMPLEMENTATIONS = ("petsc", "base-parsec", "ca-parsec")
+
+#: Backends a request may name.
+BACKENDS = ("sim", "threads", "processes")
+
+
+# -- typed errors --------------------------------------------------------
+
+
+class ServeError(RuntimeError):
+    """Base class of every serving-layer error."""
+
+
+class QueueFullError(ServeError):
+    """Admission control rejected the request: the queue is at its
+    depth bound.  Raised synchronously by ``submit`` -- the fast-reject
+    contract: a full service says no immediately instead of building
+    unbounded backlog."""
+
+
+class DeadlineExpired(ServeError):
+    """The job's deadline passed before it finished; if it was
+    running, the worker was cancelled and reclaimed."""
+
+
+class ServiceClosed(ServeError):
+    """The service is not accepting work (not started, or stopping)."""
+
+
+class WorkerDied(ServeError):
+    """A pool worker died mid-batch (killed, crashed, or reaped)."""
+
+
+# -- requests ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One solve the service should perform.
+
+    ``tenant`` / ``priority`` / ``deadline_s`` are the multi-tenant
+    knobs: fair-share dequeue interleaves tenants, higher priority
+    wins within a tenant, and a deadline (seconds from submission)
+    bounds how long the job may queue *plus* run before it is
+    cancelled with :class:`DeadlineExpired`.
+    """
+
+    problem: JacobiProblem
+    impl: str = "base-parsec"
+    machine: MachineSpec = field(default_factory=lambda: nacl(4))
+    tile: int | None = None
+    steps: int = 15
+    ratio: float = 1.0
+    policy: str = "priority"
+    backend: str = "threads"
+    jobs: int | None = None
+    tenant: str = "default"
+    priority: int = 0
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.impl not in IMPLEMENTATIONS:
+            raise ValueError(
+                f"unknown impl {self.impl!r}; choices: {IMPLEMENTATIONS}"
+            )
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choices: {BACKENDS}"
+            )
+        if self.impl == "petsc" and self.ratio != 1.0:
+            raise ValueError(
+                "the kernel adjustment ratio applies to the PaRSEC "
+                "versions only"
+            )
+        if isinstance(self.tile, str):
+            raise ValueError(
+                "serve requests take a concrete tile (or None for the "
+                "model default); run the autotuner ahead of submission"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be positive seconds, got {self.deadline_s}"
+            )
+        if self.jobs is not None and self.jobs < 1:
+            raise ValueError(f"jobs must be positive, got {self.jobs}")
+
+    # -- identity --------------------------------------------------------
+
+    def resolved_tile(self) -> int | None:
+        """The tile the run will actually use (``None`` stays the
+        runner's model-default pick, resolved here so that an explicit
+        request for the default tile hashes identically)."""
+        if self.impl == "petsc":
+            return None
+        if self.tile is not None:
+            return int(self.tile)
+        from ..core.runner import default_tile
+
+        return default_tile(self.problem, self.machine)
+
+    def solve_params(self) -> dict[str, Any]:
+        """The knobs that shape the *answer*, normalised: petsc has no
+        tile/steps/ratio; base-parsec ignores the CA step count."""
+        if self.impl == "petsc":
+            return {}
+        params: dict[str, Any] = {
+            "tile": self.resolved_tile(),
+            "ratio": self.ratio,
+        }
+        if self.impl == "ca-parsec":
+            params["steps"] = self.steps
+        return params
+
+    def signature(self) -> str:
+        """Content key of this solve: equal signatures guarantee
+        bit-identical solution grids (schedule knobs -- policy, jobs,
+        backend -- are deliberately excluded; the conformance suite
+        proves they cannot change the answer)."""
+        from ..core.signature import solve_signature
+
+        return solve_signature(
+            self.problem, self.machine, self.impl, **self.solve_params()
+        )
+
+    def batch_key(self) -> tuple:
+        """Compatibility key for the batching window: requests sharing
+        it use the same machine model, implementation, grid extents,
+        tile shape and execution config, so they can ride one pool
+        submission."""
+        return (
+            self.impl,
+            self.machine.fingerprint(),
+            self.problem.shape,
+            self.resolved_tile(),
+            self.steps if self.impl == "ca-parsec" else None,
+            self.ratio,
+            self.backend,
+            self.jobs,
+            self.policy,
+        )
+
+
+# -- outcomes ------------------------------------------------------------
+
+
+@dataclass
+class SolveOutcome:
+    """Reduced result of one served solve: the grid plus the report
+    scalars, safe to pickle across the pool's pipes and to persist in
+    the result cache."""
+
+    signature: str
+    impl: str
+    elapsed: float
+    gflops: float
+    messages: int
+    message_bytes: int
+    params: dict[str, Any]
+    grid: np.ndarray | None = None
+    tenant: str = "default"
+    #: Served straight from the result cache (no tasks executed).
+    cached: bool = False
+    #: Executed on a warm (reset-reused) executor rather than a cold one.
+    warm: bool = False
+
+    def with_tenant(self, tenant: str) -> "SolveOutcome":
+        return replace(self, tenant=tenant)
+
+    def to_doc(self) -> dict[str, Any]:
+        """JSON-safe record *without* the grid (the cache stores grids
+        as separate ``.npz`` payloads)."""
+        return {
+            "signature": self.signature,
+            "impl": self.impl,
+            "elapsed": self.elapsed,
+            "gflops": self.gflops,
+            "messages": self.messages,
+            "message_bytes": self.message_bytes,
+            "params": {
+                k: v for k, v in self.params.items()
+                if isinstance(v, (bool, int, float, str)) or v is None
+            },
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict, grid: np.ndarray | None) -> "SolveOutcome":
+        return cls(
+            signature=str(doc["signature"]),
+            impl=str(doc["impl"]),
+            elapsed=float(doc["elapsed"]),
+            gflops=float(doc["gflops"]),
+            messages=int(doc["messages"]),
+            message_bytes=int(doc["message_bytes"]),
+            params=dict(doc.get("params", {})),
+            grid=grid,
+        )
+
+
+def outcome_from_result(
+    result,
+    signature: str,
+    tenant: str = "default",
+    warm: bool = False,
+) -> SolveOutcome:
+    """Reduce a :class:`~repro.core.report.RunResult` to the
+    serving-layer outcome."""
+    return SolveOutcome(
+        signature=signature,
+        impl=result.impl,
+        elapsed=result.elapsed,
+        gflops=result.gflops,
+        messages=result.messages,
+        message_bytes=result.message_bytes,
+        params=dict(result.params),
+        grid=result.grid,
+        tenant=tenant,
+        warm=warm,
+    )
+
+
+__all__ = [
+    "BACKENDS",
+    "DeadlineExpired",
+    "IMPLEMENTATIONS",
+    "QueueFullError",
+    "ServeError",
+    "ServiceClosed",
+    "SolveOutcome",
+    "SolveRequest",
+    "WorkerDied",
+    "outcome_from_result",
+]

@@ -1,0 +1,390 @@
+"""The solver service: warm pools + queue + batching + cache, wired.
+
+:class:`SolverService` is the façade the CLI (``repro serve`` /
+``repro submit``) and :class:`~repro.serve.client.SolverClient` talk
+to.  One service owns
+
+* a :class:`~repro.serve.queue.JobQueue` (admission control, tenant
+  fair share, priorities, queued-deadline enforcement),
+* a :class:`~repro.serve.batch.BatchCollector` (window-fused
+  dispatch with intra-batch dedup),
+* a :class:`~repro.serve.pool.WorkerPool` of warm workers (threads
+  or persistent forked children),
+* an optional :class:`~repro.serve.cache.ResultCache` probed at
+  admission -- a hit resolves the future immediately and executes
+  **zero** tasks (the obs counters prove it), and
+* a :class:`~repro.obs.metrics.MetricRegistry` every layer publishes
+  into, so ``repro monitor`` and the regression gate work against a
+  live service.
+
+Threading model: ``workers`` runner threads each loop
+``collect batch -> acquire worker -> execute -> finalize``; one
+reaper thread enforces deadlines (queued jobs purged, running jobs
+cancelled and their workers reclaimed) and shrinks the idle pool.
+Per-batch metrics come back as snapshots and are merged into the
+service registry under one lock, keeping every counter cell
+single-writer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field, replace
+
+from ..obs.metrics import MetricRegistry
+from .batch import Batch, BatchCollector
+from .cache import ResultCache
+from .pool import WorkerPool
+from .queue import Job, JobQueue
+from .request import (
+    DeadlineExpired,
+    ServeError,
+    ServiceClosed,
+    SolveRequest,
+    WorkerDied,
+)
+
+
+@dataclass
+class ServiceConfig:
+    """Every serving knob in one place (the CLI mirrors these)."""
+
+    #: pool kind: "threads" (warm in-process slots) or "processes"
+    #: (persistent forked children)
+    pool: str = "threads"
+    #: concurrent batches in flight (= runner threads = pool capacity)
+    workers: int = 2
+    #: worker threads per solve (None -> the runner's default)
+    jobs: int | None = None
+    min_workers: int = 1
+    idle_timeout_s: float | None = 30.0
+    queue_depth: int = 64
+    #: per-tenant in-flight cap (None -> unbounded)
+    tenant_limit: int | None = 2
+    #: per-tenant overrides of ``tenant_limit``
+    tenant_limits: dict = field(default_factory=dict)
+    batch_window_s: float = 0.005
+    max_batch: int = 8
+    #: result cache: a path, None for the default location, or False
+    #: to disable caching entirely
+    cache: object = None
+    cache_entries: int = 256
+    #: deadline applied to requests that do not carry one (None = none)
+    default_deadline_s: float | None = None
+    #: reaper cadence (deadlines, idle shrink)
+    reap_interval_s: float = 0.05
+
+
+class SolverService:
+    """A persistent stencil-solver service (in-process).
+
+    Use as a context manager or call :meth:`start` / :meth:`stop`::
+
+        with SolverService(ServiceConfig(workers=2)) as svc:
+            fut = svc.submit(SolveRequest(problem, tenant="alice"))
+            outcome = fut.result(timeout=60)
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        metrics: MetricRegistry | None = None,
+        **overrides,
+    ) -> None:
+        if config is None:
+            config = ServiceConfig(**overrides)
+        elif overrides:
+            config = replace(config, **overrides)
+        self.config = config
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+
+        self.queue = JobQueue(
+            max_depth=config.queue_depth,
+            tenant_limit=config.tenant_limit,
+            tenant_limits=config.tenant_limits,
+            metrics=self.metrics,
+        )
+        self.collector = BatchCollector(
+            self.queue,
+            window_s=config.batch_window_s,
+            max_batch=config.max_batch,
+            metrics=self.metrics,
+        )
+        self.pool = WorkerPool(
+            kind=config.pool,
+            max_workers=config.workers,
+            min_workers=config.min_workers,
+            idle_timeout_s=config.idle_timeout_s,
+            metrics=self.metrics,
+        )
+        self.cache: ResultCache | None = None
+        if config.cache is not False:
+            self.cache = ResultCache(
+                path=None if config.cache is None else config.cache,
+                max_entries=config.cache_entries,
+                metrics=self.metrics,
+            )
+
+        # Registry mutations outside the queue/pool/cache/collector
+        # locks happen under this one (merge + service counters).
+        self._mlock = threading.Lock()
+        self._c_submitted = self.metrics.counter(
+            "serve_jobs_submitted_total", "requests admitted, by tenant",
+            "jobs",
+        )
+        self._c_completed = self.metrics.counter(
+            "serve_jobs_completed_total", "requests finished, by status",
+            "jobs",
+        )
+        self._c_expired = self.metrics.counter(
+            "serve_deadline_expired_total",
+            "jobs cancelled by their deadline, by where it caught them",
+        )
+        self._h_exec = self.metrics.histogram(
+            "serve_exec_seconds", "wall time executing one batch", "seconds"
+        )
+
+        self._lock = threading.Lock()
+        self._running: dict[int, tuple[Job, object]] = {}
+        self._runners: list[threading.Thread] = []
+        self._reaper: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._started = False
+        self._t_start = 0.0
+        self._submitted = 0
+        self._finished = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "SolverService":
+        if self._started:
+            return self
+        self._started = True
+        self._stop.clear()
+        self._t_start = time.monotonic()
+        self._runners = [
+            threading.Thread(
+                target=self._runner, name=f"repro-serve-runner-{i}",
+                daemon=True,
+            )
+            for i in range(self.config.workers)
+        ]
+        for t in self._runners:
+            t.start()
+        self._reaper = threading.Thread(
+            target=self._reap, name="repro-serve-reaper", daemon=True
+        )
+        self._reaper.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Drain nothing, fail everything queued, join every thread,
+        close every worker.  Safe to call twice."""
+        if not self._started:
+            return
+        self._started = False
+        self._stop.set()
+        self.queue.close()
+        for t in self._runners:
+            t.join(timeout)
+        if self._reaper is not None:
+            self._reaper.join(timeout)
+        self.pool.shutdown()
+        self._runners = []
+        self._reaper = None
+
+    def __enter__(self) -> "SolverService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- submission ------------------------------------------------------
+
+    def submit(
+        self,
+        request: SolveRequest | None = None,
+        **knobs,
+    ) -> Future:
+        """Admit one request; returns a future of its
+        :class:`~repro.serve.request.SolveOutcome`.
+
+        Raises :class:`QueueFullError` synchronously when admission
+        control rejects (the fast-reject contract) and
+        :class:`ServiceClosed` when the service is not running.  A
+        result-cache hit resolves the future before this returns,
+        executing nothing.
+        """
+        if request is None:
+            request = SolveRequest(**knobs)
+        elif knobs:
+            request = replace(request, **knobs)
+        if not self._started:
+            raise ServiceClosed("service not started; call start() first")
+        signature = request.signature()
+        future: Future = Future()
+        with self._mlock:
+            self._submitted += 1
+            self._c_submitted.inc(tenant=request.tenant)
+        if self.cache is not None:
+            hit = self.cache.get(signature)
+            if hit is not None:
+                future.set_result(hit.with_tenant(request.tenant))
+                with self._mlock:
+                    self._finished += 1
+                    self._c_completed.inc(status="cached")
+                return future
+        deadline_s = request.deadline_s
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        job = Job(
+            request=request,
+            future=future,
+            signature=signature,
+            seq=self.queue.next_seq(),
+            enqueued=time.monotonic(),
+            deadline=(
+                None if deadline_s is None
+                else time.monotonic() + deadline_s
+            ),
+        )
+        try:
+            self.queue.submit(job)
+        except ServeError:
+            with self._mlock:
+                self._finished += 1
+                self._c_completed.inc(status="rejected")
+            raise
+        return future
+
+    # -- execution -------------------------------------------------------
+
+    def _runner(self) -> None:
+        while not self._stop.is_set():
+            batch = self.collector.take(timeout=0.1)
+            if batch is None:
+                continue
+            worker = self.pool.acquire(timeout=5.0)
+            try:
+                if worker is None:
+                    raise WorkerDied("no pool worker became available")
+                self._execute_batch(batch, worker)
+            except Exception as exc:  # noqa: BLE001 - fail the batch, keep serving
+                self._fail_batch(batch, exc)
+            finally:
+                if worker is not None:
+                    self.pool.release(worker)
+                for job in batch.jobs:
+                    self.queue.task_done(job.tenant)
+
+    def _execute_batch(self, batch: Batch, worker) -> None:
+        groups = batch.groups()
+        leaders = [jobs[0] for jobs in groups.values()]
+        items = [(j.seq, j.request, j.deadline) for j in leaders]
+        with self._lock:
+            for job in leaders:
+                self._running[job.seq] = (job, worker)
+        t0 = time.monotonic()
+        try:
+            results, snapshot = worker.run_batch(items)
+        finally:
+            with self._lock:
+                for job in leaders:
+                    self._running.pop(job.seq, None)
+        elapsed = time.monotonic() - t0
+        statuses: dict[str, int] = {}
+        for (status, payload), jobs in zip(results, groups.values()):
+            if status == "ok":
+                outcome = payload
+                if self.cache is not None and outcome.grid is not None:
+                    self.cache.put(outcome.signature, outcome)
+                for job in jobs:
+                    job.complete(outcome.with_tenant(job.tenant))
+                statuses["ok"] = statuses.get("ok", 0) + len(jobs)
+            else:
+                for job in jobs:
+                    job.fail(payload)
+                statuses[status] = statuses.get(status, 0) + len(jobs)
+        with self._mlock:
+            if snapshot is not None:
+                self.metrics.merge(snapshot)
+            self._h_exec.observe(elapsed)
+            for status, count in statuses.items():
+                self._c_completed.inc(count, status=status)
+                if status == "expired":
+                    self._c_expired.inc(count, where="running")
+            self._finished += sum(statuses.values())
+
+    def _fail_batch(self, batch: Batch, exc: Exception) -> None:
+        """A whole-batch failure (dead worker, no worker): expired
+        jobs report their deadline, the rest the worker error."""
+        now = time.monotonic()
+        statuses: dict[str, int] = {}
+        for job in batch.jobs:
+            if job.expired(now):
+                job.fail(DeadlineExpired(
+                    f"job {job.seq} deadline passed; its worker was reclaimed"
+                ))
+                statuses["expired"] = statuses.get("expired", 0) + 1
+            else:
+                job.fail(exc if isinstance(exc, ServeError)
+                         else WorkerDied(f"batch execution failed: {exc}"))
+                statuses["error"] = statuses.get("error", 0) + 1
+        with self._mlock:
+            for status, count in statuses.items():
+                self._c_completed.inc(count, status=status)
+                if status == "expired":
+                    self._c_expired.inc(count, where="running")
+            self._finished += sum(statuses.values())
+
+    # -- reaper ----------------------------------------------------------
+
+    def _reap(self) -> None:
+        while not self._stop.wait(self.config.reap_interval_s):
+            now = time.monotonic()
+            self.queue.purge_expired(now)
+            with self._lock:
+                victims = [
+                    (job, worker)
+                    for job, worker in self._running.values()
+                    if job.expired(now)
+                ]
+            for job, worker in victims:
+                # Threads kind cancels exactly this job; processes
+                # kind kills the child (reclaimed + replaced by the
+                # pool's health check).
+                worker.cancel(job.seq)
+            self.pool.reap_idle(now)
+
+    # -- introspection ---------------------------------------------------
+
+    def progress(self) -> dict:
+        """Live sample for :class:`repro.obs.monitor.RunMonitor`:
+        jobs finished over jobs admitted, plus serving levels."""
+        with self._mlock:
+            done, total = self._finished, self._submitted
+        return {
+            "done": done,
+            "total": total,
+            "elapsed_s": (
+                time.monotonic() - self._t_start if self._started else 0.0
+            ),
+            "workers": self.pool.size(),
+            "queue_depth": self.queue.depth,
+        }
+
+    def stats(self) -> dict:
+        with self._mlock:
+            done, total = self._finished, self._submitted
+        return {
+            "submitted": total,
+            "finished": done,
+            "queue": self.queue.stats(),
+            "pool": self.pool.stats(),
+            "cache_entries": len(self.cache) if self.cache is not None else 0,
+        }
+
+
+__all__ = ["ServiceConfig", "SolverService"]

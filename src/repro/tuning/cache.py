@@ -26,6 +26,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from ..core.signature import problem_signature
 from ..machine.machine import MachineSpec
 from ..stencil.problem import JacobiProblem
 from .space import Candidate
@@ -36,25 +37,12 @@ SCHEMA_VERSION = 1
 #: Entry fields a cached winner must provide to be trusted.
 REQUIRED_FIELDS = ("tile", "steps", "policy", "overlap", "boundary_priority")
 
-
 def default_cache_path() -> Path:
     """``$REPRO_TUNING_CACHE`` or ``~/.cache/repro/tuning.json``."""
     env = os.environ.get("REPRO_TUNING_CACHE")
     if env:
         return Path(env).expanduser()
     return Path.home() / ".cache" / "repro" / "tuning.json"
-
-
-def problem_signature(problem: JacobiProblem) -> str:
-    """Stable identity of what is being solved, as far as tuning cares:
-    extents, iteration count, stencil-weight family and whether a
-    forcing term adds memory traffic."""
-    nrows, ncols = problem.shape
-    return (
-        f"{nrows}x{ncols}-it{problem.iterations}"
-        f"-{type(problem.weights).__name__}"
-        f"-{'src' if problem.source is not None else 'nosrc'}"
-    )
 
 
 def cache_key(

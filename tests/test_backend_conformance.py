@@ -142,3 +142,32 @@ def test_all_impls_on_processes_match_reference(impl):
         assert np.allclose(result.grid, ref, rtol=1e-12, atol=1e-12)
     else:
         assert np.array_equal(result.grid, ref)
+
+
+@pytest.mark.parametrize("impl", ["petsc", "base-parsec", "ca-parsec"])
+def test_serve_path_matches_direct_run(impl):
+    """The serving layer (warm slots, batching, reduced outcomes) is
+    transparent: grids served over the threads and processes pools are
+    bit-identical to direct run() on every backend, per implementation."""
+    from repro.serve import ServiceConfig, SolveRequest, SolverService
+
+    problem = random_problem(n=24, iterations=6, seed=13)
+    sim_grid, threads_grid, procs_grid = _grids(
+        problem, impl, nodes=4, tile=6, steps=3
+    )
+    assert np.array_equal(sim_grid, threads_grid)
+    assert np.array_equal(sim_grid, procs_grid)
+    request_kwargs = dict(problem=problem, impl=impl, machine=nacl(4))
+    if impl != "petsc":
+        request_kwargs["tile"] = 6
+    if impl == "ca-parsec":
+        request_kwargs["steps"] = 3
+    with SolverService(ServiceConfig(workers=1, cache=False)) as service:
+        served_threads = service.submit(SolveRequest(
+            backend="threads", jobs=2, **request_kwargs
+        )).result(timeout=300)
+        served_procs = service.submit(SolveRequest(
+            backend="processes", jobs=1, **request_kwargs
+        )).result(timeout=300)
+    assert np.array_equal(served_threads.grid, sim_grid)
+    assert np.array_equal(served_procs.grid, sim_grid)

@@ -101,3 +101,60 @@ def test_compare_command(capsys):
     out = capsys.readouterr().out
     assert "model ms" in out and "wall ms" in out
     assert "measured strong scaling" in out
+
+
+# -- the serving face ----------------------------------------------------
+
+
+def test_serve_synthetic_traffic(capsys):
+    rc = main(["serve", "--n", "48", "--iterations", "3", "--tile", "12",
+               "--requests", "4", "--tenants", "2", "--workers", "2",
+               "--interval", "0.2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "serve summary" in out
+    assert "result cache hit-rate" in out
+    assert "tenant-a" in out and "tenant-b" in out
+    assert "0 rejected, 0 failed" in out
+
+
+def test_submit_repeat_hits_disk_cache(tmp_path, capsys):
+    args = ["submit", "--n", "48", "--iterations", "3", "--tile", "12",
+            "--cache-dir", str(tmp_path)]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert "served by      cold executor" in first
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert "served by      result cache" in second
+    assert "tasks executed 0" in second
+    # bit-identical signature across invocations (same content key)
+    sig_line = [l for l in first.splitlines() if l.startswith("signature")]
+    assert sig_line[0] in second
+
+
+def test_submit_no_cache_always_executes(tmp_path, capsys):
+    args = ["submit", "--n", "48", "--iterations", "3", "--tile", "12",
+            "--no-cache"]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "served by      cold executor" in out
+
+
+def test_stats_section_serve_writes_and_checks_baseline(tmp_path, capsys):
+    base = tmp_path / "serve-base.json"
+    rc = main(["stats", "--section", "serve", "--n", "48", "--iterations",
+               "3", "--tile", "12", "--impl", "base-parsec",
+               "--write-baseline", str(base)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "serve summary" in out and base.exists()
+    doc = json.loads(base.read_text())
+    assert doc["kind"] == "serve-baseline"
+    assert "serve_cache_hit_rate" in doc["metrics"]
+    rc = main(["stats", "--section", "serve", "--n", "48", "--iterations",
+               "3", "--tile", "12", "--impl", "base-parsec",
+               "--check", str(base), "--tolerance", "0.5"])
+    out = capsys.readouterr().out
+    assert "serve_cache_hit_rate" in out
+    assert rc == 0

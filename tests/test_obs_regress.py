@@ -138,3 +138,37 @@ def test_stats_summary_reports_census(capsys):
     out = capsys.readouterr().out
     assert "tasks executed" in out
     assert "(census" in out
+
+
+def test_direction_classification_serve_metrics():
+    # hit/warm rates gate higher-is-better, expiries lower, rejects
+    # and batch-size stats are informational (overload behaviour).
+    assert regress.direction("serve_cache_hit_rate") == "higher"
+    assert regress.direction("serve_warm_start_rate") == "higher"
+    assert regress.direction("serve_cold_starts") == "lower"
+    assert regress.direction("serve_deadline_expired") == "lower"
+    assert regress.direction("serve_admission_rejects") is None
+    assert regress.direction("serve_batch_size_p50") is None
+
+
+def test_metrics_from_serve_rates():
+    from repro.obs import MetricRegistry
+
+    reg = MetricRegistry()
+    reg.counter("serve_cache_hits_total", "h").inc(3)
+    reg.counter("serve_cache_misses_total", "m").inc(1)
+    reg.counter("serve_pool_warm_starts_total", "w").inc(2)
+    reg.counter("serve_pool_cold_starts_total", "c").inc(2)
+    reg.counter("serve_admission_rejects_total", "r").inc(5)
+    reg.counter("serve_deadline_expired_total", "d").inc(1)
+    out = regress.metrics_from_serve(reg.snapshot())
+    assert out["serve_cache_hit_rate"] == pytest.approx(0.75)
+    assert out["serve_warm_start_rate"] == pytest.approx(0.5)
+    assert out["serve_admission_rejects"] == 5.0
+    assert out["serve_deadline_expired"] == 1.0
+
+
+def test_metrics_from_serve_empty_snapshot():
+    from repro.obs import MetricRegistry
+
+    assert regress.metrics_from_serve(MetricRegistry().snapshot()) == {}

@@ -1,0 +1,146 @@
+"""Content-keyed result cache (``repro.serve.cache``): persistence,
+schema versioning, the LRU bound and atomic-write hygiene."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricRegistry
+from repro.serve import ResultCache
+from repro.serve.cache import SCHEMA_VERSION, default_cache_dir
+from repro.serve.request import SolveOutcome
+
+
+def make_outcome(signature: str, value: float = 1.0) -> SolveOutcome:
+    return SolveOutcome(
+        signature=signature,
+        impl="base-parsec",
+        elapsed=0.25,
+        gflops=1.5,
+        messages=12,
+        message_bytes=960,
+        params={"tile": 6, "ratio": 1.0},
+        grid=np.full((6, 6), value),
+    )
+
+
+def test_roundtrip_bit_identical(tmp_path):
+    reg = MetricRegistry()
+    cache = ResultCache(tmp_path, metrics=reg)
+    original = make_outcome("sig-a", 3.25)
+    cache.put("sig-a", original)
+    hit = cache.get("sig-a")
+    assert hit is not None and hit.cached
+    assert np.array_equal(hit.grid, original.grid)
+    assert hit.impl == "base-parsec" and hit.elapsed == 0.25
+    assert hit.params == {"tile": 6, "ratio": 1.0}
+    snap = reg.snapshot()
+    assert snap.counter("serve_cache_hits_total") == 1
+    assert snap.counter("serve_cache_stores_total") == 1
+
+
+def test_persists_across_instances(tmp_path):
+    ResultCache(tmp_path).put("sig-a", make_outcome("sig-a", 2.0))
+    fresh = ResultCache(tmp_path)  # cold in-memory layer: disk path
+    hit = fresh.get("sig-a")
+    assert hit is not None
+    assert np.array_equal(hit.grid, np.full((6, 6), 2.0))
+
+
+def test_miss_returns_none(tmp_path):
+    reg = MetricRegistry()
+    cache = ResultCache(tmp_path, metrics=reg)
+    assert cache.get("never-stored") is None
+    assert reg.snapshot().counter("serve_cache_misses_total") == 1
+
+
+def test_hit_grids_are_read_only(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("sig-a", make_outcome("sig-a"))
+    hit = cache.get("sig-a")
+    assert not hit.grid.flags.writeable  # hits share one array
+    with pytest.raises(ValueError):
+        hit.grid[0, 0] = 99.0
+
+
+def test_lru_eviction_honours_get_recency(tmp_path):
+    reg = MetricRegistry()
+    cache = ResultCache(tmp_path, max_entries=2, metrics=reg)
+    cache.put("sig-a", make_outcome("sig-a"))
+    cache.put("sig-b", make_outcome("sig-b"))
+    cache.get("sig-a")  # a is now more recently used than b
+    cache.put("sig-c", make_outcome("sig-c"))
+    assert ResultCache(tmp_path).get("sig-b") is None  # b was the LRU
+    assert cache.get("sig-a") is not None
+    assert cache.get("sig-c") is not None
+    assert reg.snapshot().counter("serve_cache_evictions_total") == 1
+    # the evicted entry's payload was unlinked, not leaked
+    npz_files = list(tmp_path.glob("*.npz"))
+    assert len(npz_files) == 2
+
+
+def test_unknown_schema_treated_as_empty(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("sig-a", make_outcome("sig-a"))
+    index = json.loads((tmp_path / "index.json").read_text())
+    index["schema"] = SCHEMA_VERSION + 99
+    (tmp_path / "index.json").write_text(json.dumps(index))
+    fresh = ResultCache(tmp_path)
+    assert len(fresh) == 0
+    assert fresh.get("sig-a") is None  # never migrated, never crashed
+    fresh.put("sig-b", make_outcome("sig-b"))  # writes the current schema
+    doc = json.loads((tmp_path / "index.json").read_text())
+    assert doc["schema"] == SCHEMA_VERSION
+    assert list(doc["entries"]) == ["sig-b"]
+
+
+def test_corrupt_index_treated_as_empty(tmp_path):
+    (tmp_path / "index.json").write_text("{ not json !")
+    cache = ResultCache(tmp_path)
+    assert cache.get("sig-a") is None
+    cache.put("sig-a", make_outcome("sig-a"))  # heals by rewriting
+    assert ResultCache(tmp_path).get("sig-a") is not None
+
+
+def test_lost_payload_is_a_miss_not_a_crash(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("sig-a", make_outcome("sig-a"))
+    for npz in tmp_path.glob("*.npz"):
+        npz.unlink()
+    assert ResultCache(tmp_path).get("sig-a") is None
+
+
+def test_atomic_writes_leave_no_temp_droppings(tmp_path):
+    cache = ResultCache(tmp_path)
+    for i in range(5):
+        cache.put(f"sig-{i}", make_outcome(f"sig-{i}", float(i)))
+    assert not list(tmp_path.glob("*.tmp"))
+    json.loads((tmp_path / "index.json").read_text())  # always parseable
+
+
+def test_concurrent_stores_merge_not_clobber(tmp_path):
+    """Two service processes sharing one cache dir: the second put
+    re-reads the index before replacing it, so the first's entry
+    survives."""
+    first, second = ResultCache(tmp_path), ResultCache(tmp_path)
+    first.put("sig-a", make_outcome("sig-a"))
+    second.put("sig-b", make_outcome("sig-b"))
+    entries = ResultCache(tmp_path).entries()
+    assert set(entries) == {"sig-a", "sig-b"}
+
+
+def test_clear_empties_index_and_payloads(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("sig-a", make_outcome("sig-a"))
+    cache.clear()
+    assert len(cache) == 0
+    assert not list(tmp_path.glob("*.npz"))
+    assert cache.get("sig-a") is None
+
+
+def test_default_cache_dir_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_SERVE_CACHE", str(tmp_path / "elsewhere"))
+    assert default_cache_dir() == tmp_path / "elsewhere"

@@ -1,0 +1,218 @@
+"""Warm executor pools (``repro.serve.pool``).
+
+The load-bearing test is the warm-reuse regression: two sequential
+jobs through one warm slot must produce grids bit-identical to two
+cold ``run()`` calls -- executor reuse is an optimisation, never an
+answer change.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.runner import run
+from repro.distgrid.boundary import DirichletBC
+from repro.exec import fork_available
+from repro.machine.machine import nacl
+from repro.serve import SolveRequest, WarmSlot, WorkerPool, execute_request
+from repro.serve.pool import InProcessWorker, ProcessWorker
+from repro.serve.request import DeadlineExpired, WorkerDied
+from repro.stencil.kernels import StencilWeights
+from repro.stencil.problem import JacobiProblem
+
+
+class _GridInit:
+    """Picklable random-data initialiser: requests cross the process
+    pool's pipes, so closures are off the table."""
+
+    def __init__(self, values: np.ndarray) -> None:
+        self.values = values
+
+    def __call__(self, rows, cols):
+        n, nc = self.values.shape
+        return self.values[np.clip(rows, 0, n - 1), np.clip(cols, 0, nc - 1)]
+
+
+def _bc(rows, cols):
+    return np.sin(0.1 * rows) + np.cos(0.2 * cols)
+
+
+def random_problem(n, iterations, seed=0):
+    rng = np.random.default_rng(seed)
+    return JacobiProblem(
+        n=n,
+        iterations=iterations,
+        init=_GridInit(rng.normal(size=(n, n))),
+        bc=DirichletBC(_bc),
+        weights=StencilWeights.damped_jacobi(0.9),
+    )
+
+
+def _request(problem, **overrides) -> SolveRequest:
+    knobs = dict(
+        impl="ca-parsec", machine=nacl(4), tile=6, steps=3,
+        backend="threads", jobs=2,
+    )
+    knobs.update(overrides)
+    return SolveRequest(problem=problem, **knobs)
+
+
+# -- warm reuse ----------------------------------------------------------
+
+
+def test_warm_reuse_bit_identical_to_cold_runs():
+    """Two sequential jobs on one warm slot == two cold runs, bit for
+    bit (the satellite regression test for the reset() contract)."""
+    problems = [random_problem(24, 6, seed=1), random_problem(24, 6, seed=2)]
+    cold_grids = [
+        run(p, impl="ca-parsec", machine=nacl(4), tile=6, steps=3,
+            mode="execute", backend="threads", jobs=2).grid
+        for p in problems
+    ]
+    slot = WarmSlot("t")
+    warm = [execute_request(_request(p), slot=slot) for p in problems]
+    assert not warm[0].warm and warm[1].warm  # first cold, second reused
+    assert slot.cold_starts == 1 and slot.warm_starts == 1
+    for outcome, grid in zip(warm, cold_grids):
+        assert np.array_equal(outcome.grid, grid)
+
+
+def test_warm_slot_drops_unhealthy_executor():
+    class DeadExecutor:
+        def is_healthy(self):
+            return False
+
+        def _run_in_flight(self):
+            return False
+
+    slot = WarmSlot("t")
+    slot._executor = DeadExecutor()
+    outcome = execute_request(_request(random_problem(24, 2)), slot=slot)
+    assert not outcome.warm  # unhealthy survivor replaced, not reused
+    assert slot.cold_starts == 1
+    assert not isinstance(slot._executor, DeadExecutor)
+
+
+def test_processes_backend_always_cold():
+    if not fork_available():
+        pytest.skip("processes backend needs POSIX fork")
+    slot = WarmSlot("t")
+    request = _request(random_problem(24, 2), backend="processes", jobs=2)
+    for _ in range(2):
+        outcome = execute_request(request, slot=slot)
+        assert not outcome.warm
+    assert slot.cold_starts == 2 and slot.warm_starts == 0
+
+
+# -- workers -------------------------------------------------------------
+
+
+def test_inprocess_worker_batch_with_pre_expired_item():
+    worker = InProcessWorker("w")
+    fresh = _request(random_problem(24, 2, seed=3))
+    items = [
+        (0, fresh, None),
+        (1, _request(random_problem(24, 2, seed=4)), time.monotonic() - 1.0),
+    ]
+    results, snapshot = worker.run_batch(items)
+    (status_a, outcome), (status_b, error) = results
+    assert status_a == "ok" and outcome.grid is not None
+    assert status_b == "expired" and isinstance(error, DeadlineExpired)
+    assert snapshot.counter("tasks_executed_total") > 0
+    assert snapshot.counter("serve_pool_cold_starts_total") == 1
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs POSIX fork")
+def test_process_worker_solves_and_dies_on_cancel():
+    worker = ProcessWorker("w")
+    try:
+        problem = random_problem(24, 2, seed=5)
+        results, snapshot = worker.run_batch([(0, _request(problem), None)])
+        status, outcome = results[0]
+        assert status == "ok"
+        direct = run(problem, impl="ca-parsec", machine=nacl(4), tile=6,
+                     steps=3, mode="execute", backend="threads", jobs=2)
+        assert np.array_equal(outcome.grid, direct.grid)
+        assert snapshot.counter("tasks_executed_total") > 0  # merged home
+        assert worker.alive()
+        assert worker.cancel(0)  # the blunt instrument: kill the child
+        worker._proc.join(timeout=5.0)
+        assert not worker.alive()
+        with pytest.raises(WorkerDied):
+            worker.run_batch([(1, _request(problem), None)])
+    finally:
+        worker.close()
+
+
+# -- the pool ------------------------------------------------------------
+
+
+def test_pool_replaces_dead_idle_worker():
+    from repro.obs import MetricRegistry
+
+    reg = MetricRegistry()
+    pool = WorkerPool(kind="threads", max_workers=1, metrics=reg)
+    try:
+        first = pool.acquire(timeout=1.0)
+        pool.release(first)
+        first.alive = lambda: False  # simulate death while idle
+        second = pool.acquire(timeout=1.0)
+        assert second is not first  # health check swapped it out
+        pool.release(second)
+        assert reg.snapshot().counter("serve_pool_replaced_total") == 1
+    finally:
+        pool.shutdown()
+
+
+def test_pool_counts_dead_worker_on_release():
+    from repro.obs import MetricRegistry
+
+    reg = MetricRegistry()
+    pool = WorkerPool(kind="threads", max_workers=1, metrics=reg)
+    try:
+        worker = pool.acquire(timeout=1.0)
+        worker.alive = lambda: False
+        pool.release(worker)
+        assert pool.size() == 0  # dropped, successor spawns on demand
+        assert reg.snapshot().counter("serve_pool_replaced_total") == 1
+        assert pool.acquire(timeout=1.0) is not worker
+    finally:
+        pool.shutdown()
+
+
+def test_pool_reap_idle_down_to_min_workers():
+    from repro.obs import MetricRegistry
+
+    reg = MetricRegistry()
+    pool = WorkerPool(kind="threads", max_workers=2, min_workers=1,
+                      idle_timeout_s=0.01, metrics=reg)
+    try:
+        a, b = pool.acquire(timeout=1.0), pool.acquire(timeout=1.0)
+        pool.release(a), pool.release(b)
+        assert pool.size() == 2
+        assert pool.reap_idle(now=time.monotonic() + 1.0) == 1
+        assert pool.size() == 1  # the floor holds
+        assert reg.snapshot().counter("serve_pool_retired_total") == 1
+    finally:
+        pool.shutdown()
+
+
+def test_pool_acquire_blocks_at_capacity_then_frees():
+    pool = WorkerPool(kind="threads", max_workers=1)
+    try:
+        worker = pool.acquire(timeout=1.0)
+        assert pool.acquire(timeout=0.05) is None  # capacity exhausted
+        pool.release(worker)
+        assert pool.acquire(timeout=1.0) is worker  # warm body reused
+    finally:
+        pool.shutdown()
+
+
+def test_pool_shutdown_rejects_acquire():
+    pool = WorkerPool(kind="threads", max_workers=1)
+    pool.shutdown()
+    with pytest.raises(WorkerDied):
+        pool.acquire(timeout=0.1)

@@ -1,0 +1,240 @@
+"""The solver service end to end (``repro.serve.service``).
+
+Covers the serving smoke the CI job runs -- two tenants, mixed
+workload, cache hit on repeat with *zero* task executions, clean
+shutdown with no orphan threads or processes -- plus the deadline and
+admission-control behaviours at the service boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.runner import run
+from repro.exec import fork_available
+from repro.machine.machine import nacl
+from repro.serve import (
+    DeadlineExpired,
+    QueueFullError,
+    ServiceClosed,
+    ServiceConfig,
+    SolveRequest,
+    SolverClient,
+    SolverService,
+)
+
+from .test_serve_pool import random_problem
+
+pytestmark = pytest.mark.timeout(300)
+
+
+def _request(problem, **overrides) -> SolveRequest:
+    knobs = dict(
+        impl="ca-parsec", machine=nacl(4), tile=6, steps=3,
+        backend="threads", jobs=2,
+    )
+    knobs.update(overrides)
+    return SolveRequest(problem=problem, **knobs)
+
+
+def _no_serve_leftovers():
+    threads = [t.name for t in threading.enumerate()
+               if t.name.startswith("repro-serve")]
+    children = [p.name for p in multiprocessing.active_children()
+                if p.name.startswith("repro-serve")]
+    return threads + children
+
+
+# -- the smoke (mirrors the CI serve-smoke job) --------------------------
+
+
+def test_smoke_two_tenants_cache_hit_and_clean_shutdown(tmp_path):
+    problems = [random_problem(24, 4, seed=s) for s in (1, 2)]
+    direct = [
+        run(p, impl="ca-parsec", machine=nacl(4), tile=6, steps=3,
+            mode="execute", backend="threads", jobs=2).grid
+        for p in problems
+    ]
+    service = SolverService(ServiceConfig(workers=2, cache=tmp_path))
+    with service:
+        alice = SolverClient(service, tenant="alice")
+        bob = SolverClient(service, tenant="bob")
+        futures = [alice.submit(problems[0]), bob.submit(problems[1]),
+                   alice.submit(problems[1]), bob.submit(problems[0])]
+        outcomes = [f.result(timeout=120) for f in futures]
+        for outcome, grid in zip(outcomes, (direct[0], direct[1],
+                                            direct[1], direct[0])):
+            assert np.array_equal(outcome.grid, grid)
+        assert {o.tenant for o in outcomes} == {"alice", "bob"}
+
+        # Repeat submissions: served from the cache, zero tasks run.
+        before = service.metrics.snapshot().counter("tasks_executed_total")
+        repeat = alice.solve(problems[0])
+        assert repeat.cached
+        assert np.array_equal(repeat.grid, direct[0])
+        after = service.metrics.snapshot().counter("tasks_executed_total")
+        assert after == before  # the acceptance criterion, literally
+
+        snap = service.metrics.snapshot()
+        assert snap.counter("serve_cache_hits_total") >= 1
+        assert snap.counter("serve_jobs_submitted_total") == 5
+        stats = service.stats()
+        assert stats["submitted"] == 5 and stats["finished"] == 5
+    # clean shutdown: no orphan runner/reaper threads, no children
+    assert _no_serve_leftovers() == []
+    with pytest.raises(ServiceClosed):
+        service.submit(_request(problems[0]))
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs POSIX fork")
+def test_processes_pool_serves_and_leaves_no_orphans():
+    problem = random_problem(24, 4, seed=3)
+    direct = run(problem, impl="ca-parsec", machine=nacl(4), tile=6,
+                 steps=3, mode="execute", backend="threads", jobs=2).grid
+    with SolverService(ServiceConfig(pool="processes", workers=1,
+                                     cache=False)) as service:
+        client = SolverClient(service, tenant="alice")
+        outcomes = [f.result(timeout=120)
+                    for f in client.map([problem, problem])]
+        for outcome in outcomes:
+            assert np.array_equal(outcome.grid, direct)
+        # the child's task counters merged back into the service registry
+        assert service.metrics.snapshot().counter("tasks_executed_total") > 0
+    deadline = time.monotonic() + 10.0
+    while _no_serve_leftovers() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert _no_serve_leftovers() == []
+
+
+# -- admission control at the service boundary ---------------------------
+
+
+def test_queue_full_raises_synchronously_and_fast():
+    """White box: an accepting service whose runners never drain, so
+    depth-based admission is deterministic."""
+    service = SolverService(ServiceConfig(workers=1, queue_depth=3,
+                                          tenant_limit=None, cache=False))
+    service._started = True  # accept submissions, run nothing
+    try:
+        futures = [
+            service.submit(_request(random_problem(24, 2, seed=s)))
+            for s in range(3)
+        ]
+        t0 = time.monotonic()
+        with pytest.raises(QueueFullError):
+            service.submit(_request(random_problem(24, 2, seed=9)))
+        assert time.monotonic() - t0 < 0.1
+        snap = service.metrics.snapshot()
+        assert snap.counter("serve_admission_rejects_total") == 1
+        labelled = snap.labelled("serve_jobs_completed_total")
+        statuses = {dict(ls)["status"]: v for ls, v in labelled.items()}
+        assert statuses.get("rejected") == 1
+    finally:
+        service.stop()
+    for future in futures:
+        with pytest.raises(ServiceClosed):
+            future.result(timeout=0)
+
+
+def test_submit_before_start_raises():
+    service = SolverService(ServiceConfig(cache=False))
+    with pytest.raises(ServiceClosed):
+        service.submit(_request(random_problem(24, 2)))
+
+
+# -- deadlines (property iii at the service boundary) --------------------
+
+
+@given(deadlines=st.lists(
+    st.floats(min_value=0.001, max_value=0.01), min_size=1, max_size=3,
+))
+@settings(max_examples=5, deadline=None)
+def test_expired_jobs_cancelled_and_workers_reclaimed(deadlines):
+    """Whatever tiny deadlines arrive, every such job fails with the
+    typed error and the service keeps serving afterwards (workers
+    reclaimed, capacity intact)."""
+    config = ServiceConfig(workers=1, cache=False, reap_interval_s=0.01)
+    with SolverService(config) as service:
+        blocker = service.submit(
+            _request(random_problem(48, 8, seed=1), jobs=1)
+        )
+        doomed = [
+            service.submit(_request(random_problem(24, 2, seed=2 + i),
+                                    deadline_s=dl))
+            for i, dl in enumerate(deadlines)
+        ]
+        for future in doomed:
+            with pytest.raises(DeadlineExpired):
+                future.result(timeout=30)
+        blocker.result(timeout=120)
+        # capacity survived: a fresh job still completes
+        fresh = service.submit(_request(random_problem(24, 2, seed=42)))
+        assert fresh.result(timeout=120).grid is not None
+        assert service.pool.size() <= config.workers
+        snap = service.metrics.snapshot()
+        assert snap.counter("serve_deadline_expired_total") >= len(deadlines)
+
+
+def test_default_deadline_from_config():
+    config = ServiceConfig(workers=1, cache=False, reap_interval_s=0.01,
+                           default_deadline_s=0.001)
+    with SolverService(config) as service:
+        blocker = service.submit(
+            _request(random_problem(48, 8, seed=1), jobs=1,
+                     deadline_s=120.0)
+        )
+        doomed = service.submit(_request(random_problem(24, 2, seed=5)))
+        with pytest.raises(DeadlineExpired):
+            doomed.result(timeout=30)
+        blocker.result(timeout=120)
+
+
+# -- batching ------------------------------------------------------------
+
+
+def test_identical_requests_deduplicate_within_a_batch():
+    problem = random_problem(24, 4, seed=7)
+    config = ServiceConfig(workers=1, cache=False, tenant_limit=None,
+                           batch_window_s=0.25, max_batch=8)
+    with SolverService(config) as service:
+        client = SolverClient(service, tenant="alice")
+        futures = client.map([problem] * 6)
+        grids = [f.result(timeout=120).grid for f in futures]
+        for grid in grids[1:]:
+            assert np.array_equal(grid, grids[0])
+        snap = service.metrics.snapshot()
+        assert snap.counter("serve_dedup_total") >= 1
+        assert snap.counter("serve_batches_total") < 6
+        # dedup means strictly fewer executions than submissions
+        completed = snap.labelled("serve_jobs_completed_total")
+        total_ok = sum(v for ls, v in completed.items()
+                       if dict(ls)["status"] == "ok")
+        assert total_ok == 6
+
+
+# -- client ergonomics ---------------------------------------------------
+
+
+def test_client_binds_tenant_priority_and_deadline():
+    service = SolverService(ServiceConfig(cache=False))
+    client = SolverClient(service, tenant="alice", priority=3,
+                          deadline_s=60.0)
+    request = client._request(random_problem(24, 2))
+    assert request.tenant == "alice"
+    assert request.priority == 3
+    assert request.deadline_s == 60.0
+    override = client._request(random_problem(24, 2), priority=9)
+    assert override.priority == 9 and override.tenant == "alice"
+
+
+def test_client_requires_problem_or_request():
+    service = SolverService(ServiceConfig(cache=False))
+    client = SolverClient(service)
+    with pytest.raises(TypeError, match="problem or a request"):
+        client.submit()
