@@ -1,0 +1,489 @@
+"""Wire a fault plan into a run, and drive recovery around it.
+
+:class:`ChaosContext` is the single object the runner hands to a
+backend: it resolves each task's *global* iteration (restart offsets
+included), consults the :class:`~repro.chaos.inject.FaultInjector` at
+the two interception points every backend shares (kernel entry,
+message delivery), and persists grid checkpoints at the CA exchange
+boundaries on the way through.
+
+:func:`run_with_recovery` is the recovery driver the ``repro chaos``
+CLI and the resilience suite use: run, catch
+:class:`~repro.runtime.engine.NodeLostError`, restart the lost node's
+work on the survivors (ownership repartitioned by shrinking the
+machine), resuming from the latest complete checkpoint rather than
+from scratch.  Because Jacobi is elementwise and tile cores are exact
+at every sweep, the recovered grid is *bit-identical* to the
+fault-free answer -- the property the whole suite pins.
+
+:func:`execute_with_resume` is the serve-side single-attempt variant:
+the service owns the retry budget, so a lost node propagates up as
+``NodeLostError`` and the *next* attempt (same signature, same
+checkpoint directory) resumes where the last one died.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..distgrid.partition import ProcessGrid, RemappedGrid
+from ..machine.machine import MachineSpec, nacl
+from ..runtime.engine import NodeLostError
+from ..stencil.problem import JacobiProblem
+from .checkpoint import CheckpointError, CheckpointStore
+from .inject import FaultInjector
+from .plan import FaultPlan
+
+#: Exit code a chaos-killed node process dies with (distinguishable
+#: from crashes in the parent's logs; any nonzero code trips _watch).
+KILL_EXIT_CODE = 117
+
+
+class GridInit:
+    """A picklable initialiser replaying a checkpointed grid.
+
+    ``JacobiProblem.init`` accepts a callable evaluated on global index
+    arrays; this one answers from a saved grid, so a restarted problem
+    begins exactly where the checkpoint left off -- under any
+    partitioning, since indices are global.
+    """
+
+    def __init__(self, grid: np.ndarray) -> None:
+        self.grid = np.ascontiguousarray(grid, dtype=np.float64)
+
+    def __call__(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        return self.grid[rows, cols]
+
+
+class ChaosContext:
+    """One attempt's bridge between a fault plan and a backend.
+
+    ``base`` is the global sweep the attempt starts from (0 for a
+    fresh run, the checkpoint step after a restart): every fault and
+    checkpoint decision is made in global iterations, so a plan means
+    the same thing across restarts and backends.
+    """
+
+    def __init__(
+        self,
+        injector: FaultInjector,
+        store: CheckpointStore | None = None,
+        base: int = 0,
+        checkpoint_every: int | None = None,
+    ) -> None:
+        self.injector = injector
+        self.store = store
+        self.base = int(base)
+        self.checkpoint_every = checkpoint_every
+        self.backend: str | None = None
+
+    # -- runner hook ----------------------------------------------------
+
+    def attach(self, built, backend: str, machine: MachineSpec) -> None:
+        """Instrument a freshly built graph in place: adjust simulated
+        costs for delay/slow, wrap kernels for kill/delay/slow plus
+        checkpointing.  Called by the runner between build and run."""
+        self.backend = backend
+        inj = self.injector
+        spec = getattr(built, "spec", None)
+        stencil = spec is not None and hasattr(spec, "tile")
+        cadence = None
+        if stencil and self.store is not None:
+            cadence = self.checkpoint_every or spec.steps
+            ntiles = len(list(spec.partition.tiles()))
+            self.store.ensure_meta(ntiles, spec.problem.shape, cadence)
+            total = self.base + spec.problem.iterations
+        for task in built.graph:
+            t = task.key[-1]
+            gt = self.base + t if isinstance(t, int) and t >= 0 else None
+            if gt is not None and backend == "sim":
+                task.cost = inj.sim_cost(task.node, gt, task.cost)
+            ckpt_step = None
+            if (
+                cadence is not None
+                and gt is not None
+                and (gt + 1) % cadence == 0
+                and gt + 1 < total  # the final grid ships in the result
+            ):
+                # This task produces sweep gt+1 values on its core.
+                ckpt_step = gt + 1
+            if task.kernel is not None and (gt is not None or ckpt_step):
+                task.kernel = self._wrap(
+                    task.kernel, task.node, gt, ckpt_step,
+                    spec if stencil else None, task.key,
+                )
+
+    def _wrap(self, kernel, node, gt, ckpt_step, spec, key):
+        inj = self.injector
+        backend = lambda: self.backend  # resolved at call time  # noqa: E731
+
+        def chaotic_kernel(inputs, task):
+            if gt is not None:
+                if inj.kill_action(node, gt) is not None:
+                    self._die(node)
+                if backend() != "sim":
+                    extra = inj.sleep_for(node, gt)
+                    if extra > 0:
+                        time.sleep(extra)
+            out = kernel(inputs, task)
+            if ckpt_step is not None and spec is not None:
+                _, i, j, _ = key
+                tile = spec.tile(i, j)
+                rs, cs = tile.core_slices()
+                self.store.save(ckpt_step, i, j, out["tile"][rs, cs],
+                                tile.r0, tile.c0)
+            return out
+
+        return chaotic_kernel
+
+    def _die(self, node: int):
+        """Lose the node the way the backend would really lose it:
+        hard process death on the process mesh (the parent's watcher
+        reports it), a raised :class:`NodeLostError` elsewhere."""
+        if self.backend == "processes":
+            os._exit(KILL_EXIT_CODE)
+        step = None
+        if self.store is not None:
+            try:
+                step = self.store.latest_complete()
+            except Exception:
+                step = None
+        raise NodeLostError(
+            f"node {node} killed by fault plan", node=node,
+            checkpoint_step=step,
+        )
+
+    # -- message hook ----------------------------------------------------
+
+    def on_message(self, producer, tag, src: int, dst: int) -> float | None:
+        """Drop-fault consult at message-delivery time (the engine's
+        arrival event, the courier's ship loop).  Returns the
+        retransmit delay in seconds, or None to deliver normally.
+
+        A message's iteration is the sweep whose values it carries:
+        the producer task at ``t`` publishes iteration ``t + 1``
+        ghosts, so ``drop:...,step=2s`` targets the refresh exchange
+        at the superstep boundary, as a reader of the plan expects."""
+        t = producer[-1] if isinstance(producer, tuple) else None
+        gt = self.base + t + 1 if isinstance(t, int) and t >= -1 else None
+        return self.injector.drop_delay(src, dst, gt)
+
+
+@dataclass
+class ChaosResult:
+    """What :func:`run_with_recovery` observed end to end."""
+
+    result: Any  # the final successful RunResult
+    attempts: int
+    restarts: list[dict] = field(default_factory=list)
+    faults: list[dict] = field(default_factory=list)
+    wall_elapsed: float = 0.0
+    tasks_final_attempt: int = 0
+    speculations: int = 0
+
+    @property
+    def recovered(self) -> bool:
+        return bool(self.restarts)
+
+    @property
+    def grid(self) -> np.ndarray | None:
+        return self.result.grid
+
+
+def _restore_point(store: CheckpointStore | None):
+    """The newest checkpoint that actually reassembles, as
+    ``(step, grid)`` -- ``(None, None)`` when none does.  A step whose
+    tile-count quorum was met by a *mixed* set (possible after a
+    re-tiling restart changed the tile census) fails assembly and is
+    skipped rather than trusted."""
+    if store is None:
+        return None, None
+    for step in reversed(store.complete_steps()):
+        try:
+            return step, store.load_grid(step)
+        except CheckpointError:
+            continue
+    return None, None
+
+
+def _publish_chaos_metrics(metrics, chaos_result: ChaosResult) -> None:
+    if metrics is None:
+        return
+    c_faults = metrics.counter(
+        "chaos_faults_injected_total", help="faults fired by the plan"
+    )
+    counts: dict[str, int] = {}
+    for rec in chaos_result.faults:
+        counts[rec["kind"]] = counts.get(rec["kind"], 0) + 1
+    for kind, count in sorted(counts.items()):
+        c_faults.inc(count, kind=kind)
+    if chaos_result.restarts:
+        metrics.counter(
+            "chaos_recoveries_total", help="checkpoint restarts performed"
+        ).inc(len(chaos_result.restarts))
+    if chaos_result.speculations:
+        metrics.counter(
+            "chaos_speculations_total",
+            help="straggler tasks speculatively re-executed",
+        ).inc(chaos_result.speculations)
+
+
+def run_with_recovery(
+    problem: JacobiProblem,
+    plan: FaultPlan,
+    impl: str = "ca-parsec",
+    machine: MachineSpec | None = None,
+    tile: int | None = None,
+    steps: int = 4,
+    ratio: float = 1.0,
+    policy: str = "priority",
+    backend: str = "sim",
+    jobs: int | None = None,
+    pgrid=None,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every: int | None = None,
+    max_restarts: int = 3,
+    metrics=None,
+    trace: bool = False,
+    speculate: bool = False,
+) -> ChaosResult:
+    """Run ``problem`` under ``plan``, recovering from lost nodes.
+
+    Each :class:`NodeLostError` triggers one restart: ownership is
+    repartitioned onto the survivors (``machine.with_nodes(n - 1)``,
+    unless a ``pgrid`` pins the layout or one node remains) and the
+    run resumes from the latest *complete* checkpoint -- from scratch
+    only when the node died before the first boundary.  Durable fault
+    markers guarantee a consumed kill cannot re-fire on the retry.
+    """
+    from ..core.runner import run
+
+    if isinstance(steps, str) or isinstance(tile, str):
+        raise ValueError("chaos runs need concrete tile/steps (no 'auto')")
+    machine = machine or nacl(4)
+    s = steps if impl == "ca-parsec" else 1
+
+    import tempfile
+
+    tmp = None
+    if checkpoint_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        checkpoint_dir = tmp.name
+    workdir = Path(checkpoint_dir)
+    try:
+        injector = FaultInjector(plan, s=s, workdir=workdir)
+        store = CheckpointStore(workdir / "ckpt") if impl != "petsc" else None
+        cadence = checkpoint_every or s
+
+        cur_problem = problem
+        cur_machine = machine
+        cur_pgrid = pgrid
+        # Tile geometry is pinned by the *original* node arrangement;
+        # shrinking only renumbers ownership (RemappedGrid), so every
+        # restart reuses checkpointed tiles one-to-one.
+        base_grid = pgrid or ProcessGrid.square(machine.nodes)
+        geometry_ok = True  # flips off once a restart had to re-tile
+        alive = list(range(machine.nodes))
+        base = 0
+        attempts = 0
+        restarts: list[dict] = []
+        t0 = time.perf_counter()
+        while True:
+            attempts += 1
+            ctx = ChaosContext(
+                injector, store=store, base=base, checkpoint_every=cadence
+            )
+            eff_steps = steps
+            if impl == "ca-parsec" and cur_problem.iterations > 0:
+                eff_steps = max(1, min(steps, cur_problem.iterations))
+            try:
+                result = run(
+                    cur_problem, impl=impl, machine=cur_machine, tile=tile,
+                    steps=eff_steps, ratio=ratio, mode="execute",
+                    policy=policy, trace=trace, pgrid=cur_pgrid,
+                    backend=backend, jobs=jobs, metrics=metrics, chaos=ctx,
+                )
+                break
+            except NodeLostError as exc:
+                if len(restarts) >= max_restarts:
+                    raise
+                ckpt, grid = _restore_point(store)
+                if len(alive) > 1 and pgrid is None:
+                    # exc.node is a rank of the *current* machine; alive
+                    # maps it back to the original block it stood for.
+                    dead = (
+                        alive[exc.node]
+                        if exc.node is not None and 0 <= exc.node < len(alive)
+                        else alive[-1]
+                    )
+                    alive.remove(dead)
+                    cur_machine = cur_machine.with_nodes(len(alive))
+                    if impl != "petsc" and geometry_ok:
+                        cur_pgrid = RemappedGrid.shrink(base_grid, alive)
+                        if cur_pgrid is None:
+                            # A whole process-grid column died: geometry
+                            # cannot be preserved safely -- re-tile for
+                            # the survivor count from here on.
+                            geometry_ok = False
+                if ckpt:
+                    cur_problem = replace(
+                        problem,
+                        iterations=problem.iterations - ckpt,
+                        init=GridInit(grid),
+                    )
+                    base = ckpt
+                else:
+                    cur_problem = problem
+                    base = 0
+                restarts.append({
+                    "node": exc.node,
+                    "checkpoint": ckpt,
+                    "nodes_after": len(alive),
+                    "reason": str(exc),
+                })
+        wall = time.perf_counter() - t0
+
+        speculations = 0
+        if speculate and trace and result.trace is not None and store is not None:
+            from ..obs.critpath import find_stragglers
+
+            stragglers = find_stragglers(result.trace)
+            ckpt, ckpt_grid = _restore_point(store)
+            if stragglers and ckpt and ckpt < problem.iterations:
+                # Speculative duplicate of the straggling tail: re-run
+                # from the latest checkpoint and check it agrees.
+                tail = replace(
+                    problem,
+                    iterations=problem.iterations - ckpt,
+                    init=GridInit(ckpt_grid),
+                )
+                spec_result = run(
+                    tail, impl=impl, machine=cur_machine, tile=tile,
+                    steps=max(1, min(steps, tail.iterations)) if impl == "ca-parsec" else steps,
+                    ratio=ratio, mode="execute", policy=policy,
+                    pgrid=cur_pgrid, backend=backend, jobs=jobs,
+                )
+                if not np.array_equal(spec_result.grid, result.grid):
+                    raise RuntimeError(
+                        "speculative re-execution diverged from the "
+                        "primary result"
+                    )
+                speculations = len(stragglers)
+
+        chaos_result = ChaosResult(
+            result=result,
+            attempts=attempts,
+            restarts=restarts,
+            faults=injector.firing_log(),
+            wall_elapsed=wall,
+            tasks_final_attempt=result.engine.tasks_run,
+            speculations=speculations,
+        )
+        _publish_chaos_metrics(metrics, chaos_result)
+        return chaos_result
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+
+def execute_with_resume(
+    request,
+    metrics=None,
+    on_executor=None,
+    checkpoint_dir: str | Path | None = None,
+):
+    """Serve-side chaos execution: ONE attempt, resuming from this
+    signature's latest checkpoint if an earlier attempt died.
+
+    The service owns the retry budget, so a lost node propagates as
+    :class:`NodeLostError` for the batch-failure path to catch; the
+    retried job lands back here, finds the checkpoint directory warm,
+    and finishes the remaining sweeps instead of starting over.
+    Returns a :class:`~repro.serve.request.SolveOutcome` whose
+    ``recovered`` / ``faults_injected`` fields record what happened.
+    """
+    import tempfile
+
+    from ..core.runner import run
+    from ..serve.request import outcome_from_result
+    from .plan import parse_plan
+
+    plan = parse_plan(request.chaos_plan)
+    signature = request.signature()
+    root = (
+        Path(checkpoint_dir)
+        if checkpoint_dir is not None
+        else Path(tempfile.gettempdir()) / "repro-serve-chaos"
+    )
+    workdir = root / signature[:16]
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    s = request.steps if request.impl == "ca-parsec" else 1
+    injector = FaultInjector(plan, s=s, workdir=workdir)
+    store = CheckpointStore(workdir / "ckpt") if request.impl != "petsc" else None
+
+    ckpt, ckpt_grid = _restore_point(store)
+    problem = request.problem
+    base = 0
+    if ckpt:
+        problem = replace(
+            request.problem,
+            iterations=request.problem.iterations - ckpt,
+            init=GridInit(ckpt_grid),
+        )
+        base = ckpt
+    ctx = ChaosContext(injector, store=store, base=base, checkpoint_every=s)
+
+    eff_steps = request.steps
+    if request.impl == "ca-parsec" and problem.iterations > 0:
+        eff_steps = max(1, min(request.steps, problem.iterations))
+    result = run(
+        problem,
+        impl=request.impl,
+        machine=request.machine,
+        tile=request.resolved_tile(),
+        steps=eff_steps,
+        ratio=request.ratio,
+        mode="execute",
+        policy=request.policy,
+        backend=request.backend,
+        jobs=request.jobs,
+        metrics=metrics,
+        on_executor=on_executor,
+        chaos=ctx,
+    )
+    outcome = outcome_from_result(
+        result, signature, tenant=request.tenant, warm=False
+    )
+    outcome.recovered = bool(ckpt)
+    outcome.faults_injected = len(injector.firing_log())
+    if metrics is not None:
+        counts: dict[str, int] = {}
+        for rec in injector.firing_log():
+            counts[rec["kind"]] = counts.get(rec["kind"], 0) + 1
+        c = metrics.counter(
+            "chaos_faults_injected_total", help="faults fired by the plan"
+        )
+        for kind, count in sorted(counts.items()):
+            c.inc(count, kind=kind)
+        if ckpt:
+            metrics.counter(
+                "chaos_recoveries_total", help="checkpoint restarts performed"
+            ).inc()
+    return outcome
+
+
+__all__ = [
+    "ChaosContext",
+    "ChaosResult",
+    "GridInit",
+    "KILL_EXIT_CODE",
+    "execute_with_resume",
+    "run_with_recovery",
+]

@@ -35,6 +35,10 @@ Gives the library's main entry points a shell-friendly face:
 * ``submit`` -- submit one solve through a transient service backed
   by the persistent on-disk result cache: a repeated identical
   invocation is served from the cache and executes zero tasks;
+* ``chaos`` -- run one workload twice, fault-free and under a seeded
+  fault plan (``--plan "kill:node=3,step=2s"``), recover via
+  checkpoint restart and assert the final grids are bit-identical
+  with bounded makespan inflation (see ``docs/chaos.md``);
 * ``validate`` -- the cross-implementation equivalence check;
 * ``machines`` -- list the machine presets with their parameters.
 """
@@ -372,6 +376,47 @@ def _add_submit_parser(sub: argparse._SubParsersAction) -> None:
                    help="neither consult nor write the result cache")
 
 
+def _add_chaos_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection round trip: run under a fault plan, "
+             "recover, assert bit-identical grids",
+    )
+    p.add_argument("--plan", required=True,
+                   help="fault plan, e.g. 'kill:node=3,step=2s' or "
+                        "'kill:node=3,step=2s;delay:node=1,step=3,secs=0.01' "
+                        "(kinds: kill, delay, slow, drop)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="plan seed recorded in the fingerprint")
+    p.add_argument("--impl", choices=("base-parsec", "ca-parsec"),
+                   default="ca-parsec")
+    p.add_argument("--machine", default="nacl", help="machine preset name")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--n", type=int, default=192, help="grid edge length")
+    p.add_argument("--iterations", type=int, default=24)
+    p.add_argument("--tile", type=int, default=48)
+    p.add_argument("--steps", type=int, default=4, help="CA step size")
+    p.add_argument("--backend", choices=BACKENDS, default="threads")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker threads for the real backends")
+    p.add_argument("--policy", default="priority",
+                   choices=("priority", "fifo", "lifo"))
+    p.add_argument("--max-restarts", type=int, default=3,
+                   help="recovery attempts before giving up")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   help="checkpoint cadence in sweeps (default: the CA "
+                        "step size s -- the paper's exchange boundary)")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="keep checkpoint/fault state here (default: a "
+                        "temporary directory)")
+    p.add_argument("--inflation-bound", type=float, default=2.0,
+                   help="fail if chaos wall time exceeds this multiple "
+                        "of the fault-free run")
+    p.add_argument("--speculate", action="store_true",
+                   help="speculatively re-execute the straggler tail "
+                        "from the latest checkpoint and verify it")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -390,6 +435,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_experiment_parser(sub)
     _add_serve_parser(sub)
     _add_submit_parser(sub)
+    _add_chaos_parser(sub)
     _add_validate_parser(sub)
     sub.add_parser("machines", help="list machine presets")
     return parser
@@ -997,6 +1043,77 @@ def _cmd_stats_serve(args: argparse.Namespace) -> int:
     return 0 if tally["failed"] == 0 else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """The resilience round trip: a fault-free reference run, the same
+    workload under the fault plan with checkpoint-restart recovery,
+    then the two assertions the suite pins -- bit-identical grids and
+    bounded makespan inflation."""
+    import time as _time
+
+    import numpy as np
+
+    from .chaos import parse_plan, run_with_recovery
+    from .obs.metrics import MetricRegistry
+
+    plan = parse_plan(args.plan, seed=args.seed)
+    machine = preset(args.machine, nodes=args.nodes)
+    problem = JacobiProblem(n=args.n, iterations=args.iterations)
+    metrics = MetricRegistry()
+
+    print(f"plan {plan.spec()}  (seed {args.seed}, "
+          f"fingerprint {plan.fingerprint()})")
+    t0 = _time.perf_counter()
+    baseline = run(
+        problem, impl=args.impl, machine=machine, tile=args.tile,
+        steps=args.steps, mode="execute", policy=args.policy,
+        backend=args.backend, jobs=args.jobs,
+    )
+    baseline_wall = _time.perf_counter() - t0
+    print(f"fault-free: {baseline.summary()}")
+
+    chaos = run_with_recovery(
+        problem, plan, impl=args.impl, machine=machine, tile=args.tile,
+        steps=args.steps, policy=args.policy, backend=args.backend,
+        jobs=args.jobs, checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        max_restarts=args.max_restarts, metrics=metrics,
+        trace=args.speculate, speculate=args.speculate,
+    )
+
+    identical = bool(np.array_equal(chaos.grid, baseline.grid))
+    inflation = (
+        chaos.wall_elapsed / baseline_wall if baseline_wall > 0
+        else float("inf")
+    )
+    metrics.gauge(
+        "chaos_makespan_inflation",
+        "chaos wall time over the fault-free run", "ratio",
+    ).set(inflation)
+
+    for rec in chaos.faults:
+        print(f"fault fired: {rec['spec']}")
+    for restart in chaos.restarts:
+        ckpt = restart["checkpoint"]
+        print(f"recovered: node {restart['node']} lost, restarted on "
+              f"{restart['nodes_after']} nodes from "
+              + (f"checkpoint sweep {ckpt}" if ckpt else "scratch"))
+    if chaos.recovered:
+        last = chaos.restarts[-1]["checkpoint"] or 0
+        print(f"final attempt replayed sweeps {last}..{problem.iterations} "
+              f"({chaos.tasks_final_attempt} tasks; the checkpoint "
+              f"skipped the first {last} of {problem.iterations} sweeps)")
+    if chaos.speculations:
+        print(f"speculative re-execution verified "
+              f"{chaos.speculations} straggler task(s)")
+    print(f"attempts: {chaos.attempts}")
+    print(f"grids bit-identical: {identical}")
+    print(f"makespan inflation: {inflation:.2f}x "
+          f"(bound {args.inflation_bound:.2f}x)")
+    ok = identical and inflation <= args.inflation_bound
+    print("OK" if ok else "CHAOS CHECK FAILED")
+    return 0 if ok else 1
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     problem = JacobiProblem(n=args.n, iterations=args.iterations)
     machine = preset("nacl", nodes=args.nodes)
@@ -1042,6 +1159,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
+        "chaos": _cmd_chaos,
         "validate": _cmd_validate,
         "machines": _cmd_machines,
     }

@@ -91,6 +91,7 @@ def run(
     metrics=None,
     on_executor=None,
     executor_factory=None,
+    chaos=None,
 ) -> RunResult:
     """Run ``problem`` with one implementation on one machine model.
 
@@ -129,6 +130,12 @@ def run(
     its ``reset()`` contract) instead of this function constructing a
     fresh one.  The simulator builds no pool, so combining a factory
     with ``backend="sim"`` is an error.
+
+    ``chaos`` accepts a :class:`repro.chaos.ChaosContext`: the built
+    graph is instrumented in place (fault injection at kernel entry
+    and message delivery, grid checkpoints at CA exchange boundaries)
+    before the backend runs it.  A fault-free run pays nothing -- the
+    backends only consult the context when one is attached.
 
     All selector strings are validated here, before any graph is
     built, so a typo fails with the list of choices instead of a
@@ -239,6 +246,14 @@ def run(
             "it does not apply to backend='sim'"
         )
 
+    if chaos is not None:
+        if not with_kernels:
+            raise ValueError(
+                "chaos needs executable kernels; use mode='execute' or a "
+                "real backend"
+            )
+        chaos.attach(built, backend=backend, machine=machine)
+
     if backend == "threads":
         if executor_factory is not None:
             executor = executor_factory(
@@ -281,6 +296,12 @@ def run(
                 built.graph, procs=machine.nodes, jobs=jobs, policy=policy,
                 trace=trace, metrics=metrics,
             )
+        if chaos is not None:
+            # Forked node processes inherit the context (and its wrapped
+            # kernels) in memory; couriers consult it for drop faults and
+            # the watcher stamps NodeLostError with the latest checkpoint.
+            executor.chaos = chaos
+            executor.checkpoint_store = chaos.store
         if on_executor is not None:
             on_executor(executor)
         report = executor.run()
@@ -305,6 +326,7 @@ def run(
         overlap=overlap,
         trace=trace,
         metrics=metrics,
+        chaos=chaos,
     )
     if on_executor is not None:
         on_executor(engine)

@@ -43,6 +43,7 @@ from .executor import (
     execute,
     max_flow_bytes,
 )
+from ..runtime.engine import KernelError, NodeLostError
 from .futures import ExecutionTimeout, RunCancelled, RunHandle, TaskFuture, TaskRecord
 from .policies import EXEC_POLICIES, make_work_queues
 from .procs import (
@@ -64,6 +65,8 @@ __all__ = [
     "ExecReport",
     "ExecutionTimeout",
     "HOST_NODE",
+    "KernelError",
+    "NodeLostError",
     "ProcessExecutor",
     "ProcsReport",
     "ProcsRunHandle",

@@ -63,7 +63,7 @@ import numpy as np
 from ..obs import trace_validation_enabled
 from ..obs.export import build_trace
 from ..obs.metrics import MetricRegistry, MetricsSnapshot
-from ..runtime.engine import KernelError
+from ..runtime.engine import KernelError, NodeLostError
 from ..runtime.graph import TaskGraph
 from ..runtime.task import Task, TaskKey
 from ..runtime.trace import Trace
@@ -161,9 +161,19 @@ class _Courier(threading.Thread):
     node, like the engine's overlap mode).  Serialises with pickle,
     tallies the message census, and records send spans."""
 
-    def __init__(self, peers: dict[int, Connection]) -> None:
+    def __init__(
+        self,
+        peers: dict[int, Connection],
+        node: int = -1,
+        chaos=None,
+    ) -> None:
         super().__init__(name="repro-procs-courier", daemon=True)
         self.peers = peers
+        self.node = node
+        #: optional fault-injection hook (repro.chaos): a matched
+        #: message sleeps its retransmit delay before shipping,
+        #: modelling one dropped frame.  None pays nothing.
+        self.chaos = chaos
         self._cv = threading.Condition()
         self._queue: deque = deque()
         self._closing = False
@@ -209,6 +219,10 @@ class _Courier(threading.Thread):
                 item = self._queue.popleft()
             if item[0] == "data":
                 _kind, dst, producer, tag, payload, nbytes = item
+                if self.chaos is not None:
+                    delay = self.chaos.on_message(producer, tag, self.node, dst)
+                    if delay:
+                        time.sleep(delay)  # the dropped frame's retransmit wait
                 frame = pickle.dumps(
                     ("data", producer, tag, payload), protocol=pickle.HIGHEST_PROTOCOL
                 )
@@ -429,11 +443,12 @@ def _node_main(
     peers: dict[int, Connection],
     ctrl: Connection,
     unused: list[Connection],
+    chaos=None,
 ) -> None:
     """Entry point of one node process (runs under fork)."""
     for conn in unused:  # inherited fds of other nodes' pipes
         conn.close()
-    courier = _Courier(peers)
+    courier = _Courier(peers, node=node, chaos=chaos)
     receiver: _Receiver | None = None
     registry = MetricRegistry() if want_metrics else None
     try:
@@ -604,6 +619,14 @@ class ProcessExecutor:
         self.metrics = metrics
         ensure_executable(graph, backend="processes")
 
+        #: optional fault-injection hook (repro.chaos), forked into the
+        #: node processes' couriers; set by the runner before start().
+        self.chaos = None
+        #: optional :class:`repro.chaos.checkpoint.CheckpointStore`;
+        #: when set, a lost node's :class:`NodeLostError` carries the
+        #: latest complete checkpoint step for restart.
+        self.checkpoint_store = None
+
         self._started = False
         self._processes: list[mp.Process] = []
         self._ctrl: dict[int, Connection] = {}
@@ -703,7 +726,7 @@ class ProcessExecutor:
                 target=_node_main,
                 args=(node, self.graph, self.jobs, self.policy, self.want_trace,
                       self.metrics is not None, self._epoch, ends[node],
-                      ctrl_pairs[node][1], unused),
+                      ctrl_pairs[node][1], unused, self.chaos),
                 name=f"repro-procs-{node}",
                 daemon=True,
             )
@@ -758,6 +781,17 @@ class ProcessExecutor:
                 # come; tell everyone to stop.
                 self._request_cancel()
 
+        def lost(node: int, why: str) -> NodeLostError:
+            """The typed loss report: which node, and the last complete
+            checkpoint a recovery layer may restart from."""
+            step = None
+            if self.checkpoint_store is not None:
+                try:
+                    step = self.checkpoint_store.latest_complete()
+                except Exception:  # pragma: no cover - a torn store
+                    step = None
+            return NodeLostError(why, node=node, checkpoint_step=step)
+
         while waiting:
             with self._lock:
                 cancel_at = self._cancel_at
@@ -778,18 +812,18 @@ class ProcessExecutor:
                     if node in waiting:
                         del waiting[node]
                         code = self._processes[node].exitcode
-                        fail(node, KernelError(
+                        fail(node, lost(node, (
                             f"node {node} process died without reporting "
                             f"(exit code {code})"
-                        ))
+                        )))
                     continue
                 node = next(n for n, c in waiting.items() if c is item)
                 try:
                     outcome = item.recv()
                 except (EOFError, OSError):
                     del waiting[node]
-                    fail(node, KernelError(
-                        f"node {node} closed its control pipe mid-run"
+                    fail(node, lost(
+                        node, f"node {node} closed its control pipe mid-run"
                     ))
                     continue
                 del waiting[node]

@@ -260,6 +260,15 @@ def format_serve_summary(snapshot: MetricsSnapshot) -> str:
         snapshot.labelled("serve_jobs_completed_total").items()
     ):
         row(f"  status={dict(ls).get('status', '?')}", f"{count:.0f}")
+    retried = snapshot.counter("serve_jobs_retried_total")
+    if retried:
+        row("jobs retried", f"{retried:.0f}")
+    recoveries = snapshot.counter("chaos_recoveries_total")
+    faults = sum(
+        snapshot.labelled("chaos_faults_injected_total").values()
+    )
+    if faults or recoveries:
+        row("chaos faults / recoveries", f"{faults:.0f} / {recoveries:.0f}")
     if hits or misses:
         rate = hits / (hits + misses)
         row("result cache hit-rate",

@@ -42,6 +42,32 @@ class KernelError(RuntimeError):
     task identity so distributed failures are debuggable."""
 
 
+class NodeLostError(KernelError):
+    """A node was lost mid-run -- its process died, or a fault plan
+    killed it.  Carries the lost node id and the last *complete*
+    checkpoint step (None when no checkpoint exists), so a recovery
+    layer can restart the remaining iterations on the survivors
+    instead of rerunning from scratch.
+
+    Subclasses :class:`KernelError` so every backend's existing
+    pass-through of kernel failures propagates it untouched, and it
+    pickles across the procs backend's control pipes.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        node: int | None = None,
+        checkpoint_step: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.node = node
+        self.checkpoint_step = checkpoint_step
+
+    def __reduce__(self):
+        return (self.__class__, (self.args[0], self.node, self.checkpoint_step))
+
+
 # Event kinds, processed in (time, seq) order.
 _TASK_DONE = 0
 _COMM_JOB_DONE = 1
@@ -142,6 +168,7 @@ class Engine:
         trace: bool = False,
         charge_task_overhead: bool = True,
         metrics: MetricRegistry | None = None,
+        chaos=None,
     ) -> None:
         graph.finalize()
         nodes_used = graph.nodes_used()
@@ -161,6 +188,10 @@ class Engine:
         self.trace = Trace() if trace else None
         self._policy_name = policy
         self.metrics = metrics
+        #: optional fault-injection hook (repro.chaos): consulted on
+        #: every message arrival; a returned delay models one dropped
+        #: delivery plus its retransmit.  None pays nothing.
+        self.chaos = chaos
 
         nnodes = machine.nodes
         instrument = metrics is not None
@@ -612,6 +643,15 @@ class Engine:
         self._start_next_comm_job(node)
 
     def _on_arrival(self, msg: _Message) -> None:
+        if self.chaos is not None:
+            # A dropped delivery: nothing is tallied for this attempt;
+            # the retransmitted copy arrives after the virtual delay
+            # and goes through the normal path (the hook fires each
+            # fault exactly once, so redelivery cannot loop).
+            delay = self.chaos.on_message(msg.producer, msg.tag, msg.src, msg.dst)
+            if delay is not None:
+                self._push_event(self._now + delay, _ARRIVE, msg)
+                return
         self._messages += 1
         self._message_bytes += msg.nbytes
         if self._pair_msgs is not None:

@@ -26,6 +26,7 @@ from .pool import WarmSlot, WorkerPool, execute_request
 from .queue import Job, JobQueue
 from .request import (
     DeadlineExpired,
+    JobSkipped,
     QueueFullError,
     ServeError,
     ServiceClosed,
@@ -42,6 +43,7 @@ __all__ = [
     "DeadlineExpired",
     "Job",
     "JobQueue",
+    "JobSkipped",
     "QueueFullError",
     "ResultCache",
     "ServeError",

@@ -125,6 +125,7 @@ def execute_request(
     slot: WarmSlot | None = None,
     metrics=None,
     on_executor: Callable | None = None,
+    checkpoint_dir=None,
 ):
     """Run one request to a reduced
     :class:`~repro.serve.request.SolveOutcome`.
@@ -133,8 +134,22 @@ def execute_request(
     solution grid.  The warm ``slot`` is threaded through the runner's
     ``executor_factory`` hook for the real backends; the simulator
     builds no pool, so sim requests skip it.
+
+    A request carrying a ``chaos_plan`` takes the resumable path
+    instead: one cold attempt under the plan, restarting from the
+    signature's latest checkpoint under ``checkpoint_dir`` if an
+    earlier attempt died (the service's retry budget drives the
+    re-submission; this function never loops).
     """
     from ..core.runner import run
+
+    if request.chaos_plan is not None:
+        from ..chaos.harness import execute_with_resume
+
+        return execute_with_resume(
+            request, metrics=metrics, on_executor=on_executor,
+            checkpoint_dir=checkpoint_dir,
+        )
 
     factory = None
     if slot is not None and request.backend != "sim":
@@ -162,7 +177,8 @@ def execute_request(
     )
 
 
-def _run_items(items: list[WorkItem], slot: WarmSlot, capture=None):
+def _run_items(items: list[WorkItem], slot: WarmSlot, capture=None,
+               checkpoint_dir=None):
     """Shared worker loop: solve each item on ``slot``, honouring
     per-item deadlines, into ``(status, payload)`` pairs plus the
     batch's metrics snapshot."""
@@ -183,6 +199,7 @@ def _run_items(items: list[WorkItem], slot: WarmSlot, capture=None):
             outcome = execute_request(
                 request, slot=slot, metrics=reg,
                 on_executor=capture.seen if capture is not None else None,
+                checkpoint_dir=checkpoint_dir,
             )
             out.append(("ok", outcome))
         except RunCancelled:
@@ -246,17 +263,19 @@ class InProcessWorker:
 
     kind = "threads"
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, checkpoint_dir=None) -> None:
         self.name = name
         self.slot = WarmSlot(name)
         self.idle_since = time.monotonic()
         self._scope = _CancelScope()
+        self._checkpoint_dir = checkpoint_dir
 
     def alive(self) -> bool:
         return True
 
     def run_batch(self, items: list[WorkItem]):
-        return _run_items(items, self.slot, capture=self._scope)
+        return _run_items(items, self.slot, capture=self._scope,
+                          checkpoint_dir=self._checkpoint_dir)
 
     def cancel(self, seq: int | None = None) -> bool:
         return self._scope.cancel(seq)
@@ -265,7 +284,7 @@ class InProcessWorker:
         self.slot._executor = None  # free the warm executor's memory
 
 
-def _pool_child_main(conn, name: str) -> None:
+def _pool_child_main(conn, name: str, checkpoint_dir=None) -> None:
     """Entry point of one persistent forked child: loop on the pipe,
     solve batches on a child-local warm slot, ship reduced outcomes
     and the batch's metrics snapshot back."""
@@ -285,7 +304,8 @@ def _pool_child_main(conn, name: str) -> None:
             (seq, req, None if remaining is None else now + remaining)
             for seq, req, remaining in items
         ]
-        results, snapshot = _run_items(local, slot)
+        results, snapshot = _run_items(local, slot,
+                                       checkpoint_dir=checkpoint_dir)
         try:
             conn.send(("done", results, snapshot))
         except (BrokenPipeError, OSError):
@@ -297,14 +317,14 @@ class ProcessWorker:
 
     kind = "processes"
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, checkpoint_dir=None) -> None:
         self.name = name
         self.idle_since = time.monotonic()
         ctx = mp.get_context("fork")
         self._conn, child_conn = ctx.Pipe(duplex=True)
         self._proc = ctx.Process(
             target=_pool_child_main,
-            args=(child_conn, name),
+            args=(child_conn, name, checkpoint_dir),
             name=f"repro-serve-{name}",
             daemon=True,
         )
@@ -366,6 +386,7 @@ class WorkerPool:
         idle_timeout_s: float | None = 30.0,
         metrics=None,
         name: str = "pool",
+        checkpoint_dir=None,
     ) -> None:
         if kind not in ("threads", "processes"):
             raise ValueError(
@@ -378,6 +399,7 @@ class WorkerPool:
         self.min_workers = max(0, min(min_workers, max_workers))
         self.idle_timeout_s = idle_timeout_s
         self.name = name
+        self.checkpoint_dir = checkpoint_dir
         self._lock = threading.Lock()
         self._free = threading.Condition(self._lock)
         self._idle: list = []
@@ -405,8 +427,9 @@ class WorkerPool:
         self._spawned += 1
         name = f"{self.name}-{self.kind}-{self._spawned}"
         worker = (
-            InProcessWorker(name) if self.kind == "threads"
-            else ProcessWorker(name)
+            InProcessWorker(name, checkpoint_dir=self.checkpoint_dir)
+            if self.kind == "threads"
+            else ProcessWorker(name, checkpoint_dir=self.checkpoint_dir)
         )
         if self._metrics is not None:
             self._g_workers.set(len(self._idle) + len(self._busy) + 1)

@@ -67,6 +67,14 @@ class WorkerDied(ServeError):
     """A pool worker died mid-batch (killed, crashed, or reaped)."""
 
 
+class JobSkipped(ServeError):
+    """The job was skipped because an upstream attempt of the same
+    work exhausted its retry budget: rather than re-running a solve
+    that just failed N times, downstream duplicates fail fast with
+    this marker (the skip-downstream model of ParallelX-style retry
+    semantics)."""
+
+
 # -- requests ------------------------------------------------------------
 
 
@@ -93,6 +101,13 @@ class SolveRequest:
     tenant: str = "default"
     priority: int = 0
     deadline_s: float | None = None
+    #: fault plan spec (see :func:`repro.chaos.parse_plan`) injected
+    #: into the run -- a chaos job; None runs fault-free.
+    chaos_plan: str | None = None
+    #: per-request retry budget override (None -> the service's
+    #: ``retry_budget``); a failed attempt re-queues the job until the
+    #: budget is spent, resuming from its signature's last checkpoint.
+    retries: int | None = None
 
     def __post_init__(self) -> None:
         if self.impl not in IMPLEMENTATIONS:
@@ -119,6 +134,13 @@ class SolveRequest:
             )
         if self.jobs is not None and self.jobs < 1:
             raise ValueError(f"jobs must be positive, got {self.jobs}")
+        if self.retries is not None and self.retries < 0:
+            raise ValueError(f"retries cannot be negative, got {self.retries}")
+        if self.chaos_plan is not None:
+            # Validate at admission, not deep inside a worker.
+            from ..chaos.plan import parse_plan
+
+            parse_plan(self.chaos_plan)
 
     # -- identity --------------------------------------------------------
 
@@ -173,6 +195,9 @@ class SolveRequest:
             self.backend,
             self.jobs,
             self.policy,
+            # Chaos jobs never fuse (or dedup) with fault-free jobs of
+            # the same solve: faults and retries are per-plan state.
+            self.chaos_plan,
         )
 
 
@@ -198,6 +223,12 @@ class SolveOutcome:
     cached: bool = False
     #: Executed on a warm (reset-reused) executor rather than a cold one.
     warm: bool = False
+    #: Resumed from a checkpoint left by a failed earlier attempt.
+    recovered: bool = False
+    #: How many retries the job consumed before this outcome.
+    retries: int = 0
+    #: Faults the chaos plan fired across the job's attempts.
+    faults_injected: int = 0
 
     def with_tenant(self, tenant: str) -> "SolveOutcome":
         return replace(self, tenant=tenant)
@@ -216,6 +247,9 @@ class SolveOutcome:
                 k: v for k, v in self.params.items()
                 if isinstance(v, (bool, int, float, str)) or v is None
             },
+            "recovered": self.recovered,
+            "retries": self.retries,
+            "faults_injected": self.faults_injected,
         }
 
     @classmethod
@@ -229,6 +263,9 @@ class SolveOutcome:
             message_bytes=int(doc["message_bytes"]),
             params=dict(doc.get("params", {})),
             grid=grid,
+            recovered=bool(doc.get("recovered", False)),
+            retries=int(doc.get("retries", 0)),
+            faults_injected=int(doc.get("faults_injected", 0)),
         )
 
 
@@ -258,6 +295,7 @@ __all__ = [
     "BACKENDS",
     "DeadlineExpired",
     "IMPLEMENTATIONS",
+    "JobSkipped",
     "QueueFullError",
     "ServeError",
     "ServiceClosed",

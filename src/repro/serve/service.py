@@ -40,6 +40,7 @@ from .pool import WorkerPool
 from .queue import Job, JobQueue
 from .request import (
     DeadlineExpired,
+    JobSkipped,
     ServeError,
     ServiceClosed,
     SolveRequest,
@@ -75,6 +76,13 @@ class ServiceConfig:
     default_deadline_s: float | None = None
     #: reaper cadence (deadlines, idle shrink)
     reap_interval_s: float = 0.05
+    #: failed-job retries granted when the request does not set its
+    #: own budget (0 = fail on first error, the historical behaviour);
+    #: a retried chaos job resumes from its last checkpoint
+    retry_budget: int = 0
+    #: directory the chaos checkpoint/fault state lives under (None ->
+    #: a per-signature directory beneath the system temp dir)
+    checkpoint_dir: object = None
 
 
 class SolverService:
@@ -118,6 +126,7 @@ class SolverService:
             min_workers=config.min_workers,
             idle_timeout_s=config.idle_timeout_s,
             metrics=self.metrics,
+            checkpoint_dir=config.checkpoint_dir,
         )
         self.cache: ResultCache | None = None
         if config.cache is not False:
@@ -141,6 +150,10 @@ class SolverService:
         self._c_expired = self.metrics.counter(
             "serve_deadline_expired_total",
             "jobs cancelled by their deadline, by where it caught them",
+        )
+        self._c_retried = self.metrics.counter(
+            "serve_jobs_retried_total",
+            "failed jobs re-queued within their retry budget", "jobs",
         )
         self._h_exec = self.metrics.histogram(
             "serve_exec_seconds", "wall time executing one batch", "seconds"
@@ -301,27 +314,103 @@ class SolverService:
                 if self.cache is not None and outcome.grid is not None:
                     self.cache.put(outcome.signature, outcome)
                 for job in jobs:
-                    job.complete(outcome.with_tenant(job.tenant))
+                    job.complete(replace(
+                        outcome.with_tenant(job.tenant),
+                        retries=job.extra.get("attempts", 0),
+                    ))
                 statuses["ok"] = statuses.get("ok", 0) + len(jobs)
-            else:
+            elif status == "expired":
+                # Deadlines are final: a retry cannot un-expire a job.
                 for job in jobs:
                     job.fail(payload)
-                statuses[status] = statuses.get(status, 0) + len(jobs)
+                statuses["expired"] = statuses.get("expired", 0) + len(jobs)
+            else:
+                self._retry_or_fail(jobs, payload, statuses)
+        self._account(statuses, snapshot=snapshot, elapsed=elapsed)
+
+    def _retry_or_fail(self, jobs, exc: Exception,
+                       statuses: dict[str, int]) -> None:
+        """Failure policy for one dedup group: within the retry
+        budget, re-queue every job (a fresh seq, attempts + 1 -- a
+        chaos job finds its checkpoint directory warm and resumes
+        instead of starting over); past it, the group leader fails
+        with the real error and downstream duplicates are *skipped*
+        (:class:`~repro.serve.request.JobSkipped`) rather than
+        re-running a solve that just failed repeatedly."""
+        leader = jobs[0]
+        budget = leader.request.retries
+        if budget is None:
+            budget = self.config.retry_budget
+        attempts = leader.extra.get("attempts", 0)
+        now = time.monotonic()
+        if budget > 0 and attempts < budget and not self._stop.is_set():
+            for job in jobs:
+                if job.expired(now):
+                    job.fail(DeadlineExpired(
+                        f"job {job.seq} deadline passed before its retry"
+                    ))
+                    statuses["expired"] = statuses.get("expired", 0) + 1
+                    continue
+                retry = Job(
+                    request=job.request,
+                    future=job.future,
+                    signature=job.signature,
+                    seq=self.queue.next_seq(),
+                    enqueued=job.enqueued,
+                    deadline=job.deadline,
+                    extra={**job.extra, "attempts": attempts + 1},
+                )
+                try:
+                    self.queue.submit(retry)
+                except ServeError as submit_exc:
+                    job.fail(submit_exc)
+                    statuses["error"] = statuses.get("error", 0) + 1
+                    continue
+                statuses["retried"] = statuses.get("retried", 0) + 1
+            return
+        err = (exc if isinstance(exc, ServeError)
+               else WorkerDied(f"batch execution failed: {exc}"))
+        for pos, job in enumerate(jobs):
+            if pos == 0 or budget == 0:
+                job.fail(err)
+                statuses["error"] = statuses.get("error", 0) + 1
+            else:
+                job.fail(JobSkipped(
+                    f"job {job.seq} skipped: the leading attempt of this "
+                    f"solve failed after {attempts + 1} attempt(s)"
+                ))
+                statuses["skipped"] = statuses.get("skipped", 0) + 1
+
+    def _account(self, statuses: dict[str, int], snapshot=None,
+                 elapsed: float | None = None) -> None:
+        """Fold a batch's statuses into the service counters.  A
+        ``retried`` job is still pending (its future unresolved), so
+        it counts toward ``serve_jobs_retried_total`` but never toward
+        ``_finished`` or the completion counter."""
         with self._mlock:
             if snapshot is not None:
                 self.metrics.merge(snapshot)
-            self._h_exec.observe(elapsed)
+            if elapsed is not None:
+                self._h_exec.observe(elapsed)
             for status, count in statuses.items():
+                if status == "retried":
+                    self._c_retried.inc(count)
+                    continue
                 self._c_completed.inc(count, status=status)
                 if status == "expired":
                     self._c_expired.inc(count, where="running")
-            self._finished += sum(statuses.values())
+            self._finished += sum(
+                count for status, count in statuses.items()
+                if status != "retried"
+            )
 
     def _fail_batch(self, batch: Batch, exc: Exception) -> None:
         """A whole-batch failure (dead worker, no worker): expired
-        jobs report their deadline, the rest the worker error."""
+        jobs report their deadline, the rest go through the per-group
+        retry-or-fail policy."""
         now = time.monotonic()
         statuses: dict[str, int] = {}
+        groups: dict[str, list[Job]] = {}
         for job in batch.jobs:
             if job.expired(now):
                 job.fail(DeadlineExpired(
@@ -329,15 +418,10 @@ class SolverService:
                 ))
                 statuses["expired"] = statuses.get("expired", 0) + 1
             else:
-                job.fail(exc if isinstance(exc, ServeError)
-                         else WorkerDied(f"batch execution failed: {exc}"))
-                statuses["error"] = statuses.get("error", 0) + 1
-        with self._mlock:
-            for status, count in statuses.items():
-                self._c_completed.inc(count, status=status)
-                if status == "expired":
-                    self._c_expired.inc(count, where="running")
-            self._finished += sum(statuses.values())
+                groups.setdefault(job.signature, []).append(job)
+        for jobs in groups.values():
+            self._retry_or_fail(jobs, exc, statuses)
+        self._account(statuses)
 
     # -- reaper ----------------------------------------------------------
 

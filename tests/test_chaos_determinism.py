@@ -1,0 +1,117 @@
+"""Fault injection must itself be deterministic (``repro.chaos``).
+
+A fault plan is replayed by *identity*, not by schedule: a fault
+applies as a pure function of (node, global sweep), so the same seed
+and plan produce the same firing log, the same trace shape, and the
+same metrics on every repetition -- the property that makes a chaos
+failure reproducible enough to debug.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    ChaosContext,
+    FaultInjector,
+    parse_plan,
+    random_plan,
+    run_with_recovery,
+)
+from repro.core.runner import run
+from repro.machine.machine import nacl
+from repro.obs.metrics import MetricRegistry
+
+from .conftest import random_problem
+
+pytestmark = pytest.mark.timeout(300)
+
+PLAN = "kill:node=2,step=1s;delay:node=1,step=2,secs=0.001;slow:node=0,factor=2"
+
+
+def _one_run(tmp_path, tag):
+    problem = random_problem(n=24, iterations=6)
+    plan = parse_plan(PLAN, seed=7)
+    metrics = MetricRegistry()
+    chaos = run_with_recovery(
+        problem, plan, impl="ca-parsec", machine=nacl(4), tile=6, steps=3,
+        backend="sim", checkpoint_dir=tmp_path / tag, metrics=metrics,
+        trace=True,
+    )
+    return chaos, metrics.snapshot()
+
+
+def test_same_seed_same_firing_order(tmp_path):
+    first, _ = _one_run(tmp_path, "a")
+    second, _ = _one_run(tmp_path, "b")
+    assert first.faults == second.faults
+    assert [f["kind"] for f in first.faults] == ["kill", "delay", "slow"]
+    assert first.attempts == second.attempts
+    assert [r["checkpoint"] for r in first.restarts] == \
+        [r["checkpoint"] for r in second.restarts]
+
+
+def test_same_seed_same_grid_and_trace_shape(tmp_path):
+    first, _ = _one_run(tmp_path, "a")
+    second, _ = _one_run(tmp_path, "b")
+    assert np.array_equal(first.grid, second.grid)
+    assert first.result.trace is not None
+    assert len(first.result.trace.spans) == len(second.result.trace.spans)
+
+
+def test_same_seed_same_metrics(tmp_path):
+    _, snap_a = _one_run(tmp_path, "a")
+    _, snap_b = _one_run(tmp_path, "b")
+    for name in ("chaos_faults_injected_total", "chaos_recoveries_total",
+                 "tasks_executed_total"):
+        assert snap_a.counter(name) == snap_b.counter(name), name
+    assert snap_a.labelled("chaos_faults_injected_total") == \
+        snap_b.labelled("chaos_faults_injected_total")
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_random_plans_are_stable(seed):
+    a = random_plan(seed, nodes=4, iterations=6,
+                    kinds=("kill", "delay", "slow", "drop"))
+    b = random_plan(seed, nodes=4, iterations=6,
+                    kinds=("kill", "delay", "slow", "drop"))
+    assert a == b
+    assert a.spec() == b.spec()
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_firing_is_identity_based_not_schedule_based(tmp_path):
+    """The same plan attached under two different scheduling policies
+    fires the same faults (identity: node x sweep), even though the
+    task execution order differs."""
+    problem = random_problem(n=24, iterations=6)
+    logs = []
+    for policy in ("priority", "fifo"):
+        injector = FaultInjector(
+            parse_plan(PLAN, seed=7), s=3, workdir=tmp_path / policy
+        )
+        ctx = ChaosContext(injector, store=None, base=0)
+        from repro.exec import NodeLostError
+
+        with pytest.raises(NodeLostError):
+            run(problem, impl="ca-parsec", machine=nacl(4), tile=6, steps=3,
+                mode="execute", backend="sim", policy=policy, chaos=ctx)
+        logs.append(injector.firing_log())
+    # the kill raises before the run completes under both policies, so
+    # compare what actually fired: identical identity-keyed records
+    assert logs[0] == logs[1]
+
+
+def test_durable_markers_survive_and_gate_refire(tmp_path):
+    """A consumed kill is marked on disk; a fresh injector over the
+    same workdir sees it as fired and will not re-kill."""
+    injector = FaultInjector(parse_plan("kill:node=1,step=2", seed=0),
+                             s=1, workdir=tmp_path)
+    assert injector.kill_action(1, 2) is not None
+    assert injector.kill_action(1, 2) is None  # fired once
+    fresh = FaultInjector(parse_plan("kill:node=1,step=2", seed=0),
+                          s=1, workdir=tmp_path)
+    assert fresh.fired(0)
+    assert fresh.kill_action(1, 2) is None
+    assert fresh.firing_log() == injector.firing_log()

@@ -265,3 +265,53 @@ def test_per_task_futures_unavailable_across_processes():
         handle.future("d")
     report = handle.result(timeout=60)
     assert report.tasks_run == 4
+
+
+def test_silent_child_death_raises_typed_node_lost_error():
+    """Regression: a vanished child must surface as NodeLostError (not
+    a bare KernelError) carrying the lost node id, so recovery layers
+    can repartition without parsing message text."""
+    from repro.exec import NodeLostError
+
+    def die(inputs, task):
+        import os
+
+        os._exit(3)
+
+    g = TaskGraph()
+    g.add(Task("doomed", node=1, kernel=die, out_nbytes={}))
+    g.add(Task("other", node=0, kernel=kernel, out_nbytes={"v": 8}))
+    ex = ProcessExecutor(g, procs=2, jobs=1)
+    with pytest.raises(NodeLostError) as info:
+        ex.run()
+    assert info.value.node == 1
+    assert info.value.checkpoint_step is None  # no store attached
+    assert_no_orphans(ex)
+
+
+def test_node_lost_error_reports_last_checkpoint(tmp_path):
+    """With a checkpoint store attached, the error names the sweep a
+    recovery can restart from."""
+    import numpy as np
+
+    from repro.chaos import CheckpointStore
+    from repro.exec import NodeLostError
+
+    store = CheckpointStore(tmp_path)
+    store.ensure_meta(ntiles=1, shape=(2, 2), cadence=1)
+    store.save(5, 0, 0, np.zeros((2, 2)), r0=0, c0=0)
+
+    def die(inputs, task):
+        import os
+
+        os._exit(3)
+
+    g = TaskGraph()
+    g.add(Task("doomed", node=1, kernel=die, out_nbytes={}))
+    ex = ProcessExecutor(g, procs=2, jobs=1)
+    ex.checkpoint_store = store
+    with pytest.raises(NodeLostError) as info:
+        ex.run()
+    assert info.value.node == 1
+    assert info.value.checkpoint_step == 5
+    assert_no_orphans(ex)

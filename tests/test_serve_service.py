@@ -238,3 +238,100 @@ def test_client_requires_problem_or_request():
     client = SolverClient(service)
     with pytest.raises(TypeError, match="problem or a request"):
         client.submit()
+
+
+# -- faults under load (repro.chaos x repro.serve) -----------------------
+
+
+def test_chaos_job_retries_from_checkpoint_other_tenants_unaffected(tmp_path):
+    """A worker killed mid-batch by a fault plan: the job is re-queued
+    within its retry budget and its second attempt *resumes* from the
+    checkpoint the first one persisted; a fault-free tenant sharing
+    the service never notices."""
+    from repro.obs.monitor import format_serve_summary
+
+    chaos_problem = random_problem(24, 6, seed=11)
+    steady_problem = random_problem(24, 4, seed=12)
+    direct_chaos = run(chaos_problem, impl="ca-parsec", machine=nacl(4),
+                       tile=6, steps=3, mode="execute", backend="threads",
+                       jobs=2).grid
+    direct_steady = run(steady_problem, impl="ca-parsec", machine=nacl(4),
+                        tile=6, steps=3, mode="execute", backend="threads",
+                        jobs=2).grid
+    config = ServiceConfig(workers=2, cache=False, retry_budget=2,
+                           checkpoint_dir=tmp_path)
+    with SolverService(config) as service:
+        # jobs=1 keeps the priority order exact: every sweep-3 tile is
+        # checkpointed before the first sweep-3 task can fire the kill
+        chaos_future = service.submit(_request(
+            chaos_problem, tenant="chaos", chaos_plan="kill:node=3,step=1s",
+            jobs=1,
+        ))
+        steady_futures = [
+            service.submit(_request(steady_problem, tenant="steady"))
+            for _ in range(2)
+        ]
+        for future in steady_futures:
+            outcome = future.result(timeout=120)
+            assert np.array_equal(outcome.grid, direct_steady)
+            assert outcome.retries == 0 and not outcome.recovered
+        outcome = chaos_future.result(timeout=120)
+        assert np.array_equal(outcome.grid, direct_chaos)
+        assert outcome.retries == 1
+        assert outcome.recovered  # attempt 2 resumed from the checkpoint
+        assert outcome.faults_injected == 1
+
+        snap = service.metrics.snapshot()
+        assert snap.counter("serve_jobs_retried_total") == 1
+        summary = format_serve_summary(snap)
+        assert "jobs retried" in summary
+        assert "chaos faults / recoveries" in summary
+    assert _no_serve_leftovers() == []
+
+
+def test_retry_budget_exhausted_fails_leader_and_skips_followers(tmp_path):
+    """Three kills against a budget of one: the first retry dies too,
+    the leader surfaces the real error and a deduplicated follower of
+    the same signature gets JobSkipped (the ParallelX skip-downstream
+    outcome), not a silent hang."""
+    from repro.serve import JobSkipped, WorkerDied
+
+    problem = random_problem(24, 6, seed=13)
+    plan = "kill:node=0,step=1;kill:node=1,step=2;kill:node=2,step=3"
+    config = ServiceConfig(workers=1, cache=False, retry_budget=1,
+                           checkpoint_dir=tmp_path, batch_window_s=0.25,
+                           max_batch=8, tenant_limit=None)
+    with SolverService(config) as service:
+        futures = [
+            service.submit(_request(problem, tenant="alice", chaos_plan=plan))
+            for _ in range(2)
+        ]
+        errors = []
+        for future in futures:
+            with pytest.raises(Exception) as info:
+                future.result(timeout=120)
+            errors.append(info.value)
+        kinds = {type(e) for e in errors}
+        assert WorkerDied in kinds
+        assert JobSkipped in kinds
+        snap = service.metrics.snapshot()
+        # both deduplicated jobs were re-queued on the first retry
+        assert snap.counter("serve_jobs_retried_total") == 2
+    assert _no_serve_leftovers() == []
+
+
+def test_retry_budget_zero_keeps_legacy_fail_behaviour(tmp_path):
+    """Without a budget a lost node is a plain failure for every job in
+    the batch -- the pre-chaos contract, verbatim."""
+    problem = random_problem(24, 6, seed=14)
+    config = ServiceConfig(workers=1, cache=False,
+                           checkpoint_dir=tmp_path)
+    with SolverService(config) as service:
+        future = service.submit(_request(
+            problem, tenant="alice", chaos_plan="kill:node=1,step=1s",
+        ))
+        with pytest.raises(Exception):
+            future.result(timeout=120)
+        snap = service.metrics.snapshot()
+        assert snap.counter("serve_jobs_retried_total") == 0
+    assert _no_serve_leftovers() == []
