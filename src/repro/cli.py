@@ -82,6 +82,9 @@ def _add_run_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--procs", type=int, default=None,
                    help="node processes for --backend processes "
                         "(default: the machine's node count)")
+    p.add_argument("--passes", default=None, metavar="SPEC",
+                   help="IR rewrite pipeline applied to the built graph, "
+                        "e.g. 'fuse,coarsen:factor=4' (see docs/ir.md)")
     p.add_argument("--trace-out", default=None, metavar="FILE.json",
                    help="write a Chrome trace-event file")
 
@@ -157,7 +160,8 @@ def _add_sweep_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--axis", action="append", default=[],
                    metavar="KEY=V1,V2,...",
                    help="sweep axis, repeatable; keys: "
-                        f"{', '.join(SWEEP_AXES)}")
+                        f"{', '.join(SWEEP_AXES)} "
+                        "(the passes axis separates values with ';')")
     p.add_argument("--seed", type=int, default=None,
                    help="shuffle evaluation order reproducibly")
     p.add_argument("--csv-out", default=None, metavar="FILE.csv")
@@ -276,6 +280,10 @@ def _add_trace_diff_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--backend", choices=BACKENDS, default="sim")
     p.add_argument("--jobs", type=int, default=None)
     p.add_argument("--procs", type=int, default=None)
+    p.add_argument("--passes-a", default=None, metavar="SPEC",
+                   help="IR rewrite pipeline for side A")
+    p.add_argument("--passes-b", default=None, metavar="SPEC",
+                   help="IR rewrite pipeline for side B")
     p.add_argument("--top", type=int, default=5,
                    help="task movers to list")
     p.add_argument("--assert-comm-drop", action="store_true",
@@ -316,6 +324,9 @@ def _add_serve_request_flags(p: argparse.ArgumentParser) -> None:
                    help="execution backend inside the service workers")
     p.add_argument("--jobs", type=int, default=None,
                    help="worker threads per solve")
+    p.add_argument("--passes", default=None, metavar="SPEC",
+                   help="IR rewrite pipeline for every request, e.g. "
+                        "'fuse,coarsen:factor=4'")
 
 
 def _add_serve_parser(sub: argparse._SubParsersAction) -> None:
@@ -417,6 +428,36 @@ def _add_chaos_parser(sub: argparse._SubParsersAction) -> None:
                         "from the latest checkpoint and verify it")
 
 
+def _add_ir_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "ir",
+        help="rewrite a task graph through an IR pass pipeline and "
+             "report the before/after evidence",
+    )
+    p.add_argument("--passes", required=True, metavar="SPEC",
+                   help="pipeline spec, e.g. 'fuse,coarsen:factor=4' "
+                        "(passes: %s)" % ", ".join(
+                            ("fuse", "coarsen", "latency", "ca")))
+    p.add_argument("--impl", choices=IMPLEMENTATIONS, default="ca-parsec")
+    p.add_argument("--machine", default="nacl", help="machine preset name")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--n", type=int, default=192, help="grid edge length")
+    p.add_argument("--iterations", type=int, default=8)
+    p.add_argument("--tile", type=int, default=None)
+    p.add_argument("--steps", type=int, default=4, help="CA step size")
+    p.add_argument("--ratio", type=float, default=1.0)
+    p.add_argument("--policy", default="priority",
+                   choices=("priority", "fifo", "lifo"))
+    p.add_argument("--dot-before", default=None, metavar="FILE.dot",
+                   help="write the unrewritten graph as Graphviz dot")
+    p.add_argument("--dot-after", default=None, metavar="FILE.dot",
+                   help="write the rewritten graph as Graphviz dot")
+    p.add_argument("--trace-before", default=None, metavar="FILE.json",
+                   help="write the baseline's Chrome trace-event file")
+    p.add_argument("--trace-after", default=None, metavar="FILE.json",
+                   help="write the rewritten run's Chrome trace-event file")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -432,6 +473,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_stats_parser(sub)
     _add_critpath_parser(sub)
     _add_trace_diff_parser(sub)
+    _add_ir_parser(sub)
     _add_experiment_parser(sub)
     _add_serve_parser(sub)
     _add_submit_parser(sub)
@@ -457,7 +499,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         backend=args.backend,
         jobs=args.jobs,
         procs=args.procs,
+        passes=args.passes,
     )
+    if result.pass_reports is not None:
+        print(result.pass_reports.format())
     print(result.summary())
     if args.execute:
         import numpy as np
@@ -570,7 +615,10 @@ def _parse_sweep_axes(specs: list[str]) -> dict[str, list]:
                 f"bad --axis {spec!r}: expected KEY=V1,V2,... with KEY in "
                 f"{SWEEP_AXES}"
             )
-        axes[key] = [_decode(v.strip()) for v in values.split(",")]
+        # Pipeline specs contain commas ("fuse,coarsen:factor=4"), so
+        # the passes axis separates its values with ';' instead.
+        sep_char = ";" if key == "passes" else ","
+        axes[key] = [_decode(v.strip()) for v in values.split(sep_char)]
     return axes
 
 
@@ -753,11 +801,13 @@ def _cmd_critpath(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_diff_side(args: argparse.Namespace, impl: str):
+def _run_diff_side(args: argparse.Namespace, impl: str,
+                   passes: str | None = None):
     machine = preset(args.machine, nodes=args.nodes)
     problem = JacobiProblem(n=args.n, iterations=args.iterations)
     kwargs = dict(impl=impl, machine=machine, policy=args.policy,
-                  backend=args.backend, jobs=args.jobs, trace=True)
+                  backend=args.backend, jobs=args.jobs, trace=True,
+                  passes=passes)
     if args.backend == "processes":
         kwargs["procs"] = args.procs
     if impl != "petsc":
@@ -768,10 +818,14 @@ def _run_diff_side(args: argparse.Namespace, impl: str):
 def _cmd_trace_diff(args: argparse.Namespace) -> int:
     from .obs.diff import diff_results
 
-    result_a = _run_diff_side(args, args.impl_a)
-    result_b = _run_diff_side(args, args.impl_b)
-    diff = diff_results(result_a, result_b,
-                        label_a=args.impl_a, label_b=args.impl_b)
+    result_a = _run_diff_side(args, args.impl_a, getattr(args, "passes_a", None))
+    result_b = _run_diff_side(args, args.impl_b, getattr(args, "passes_b", None))
+    label_a, label_b = args.impl_a, args.impl_b
+    if getattr(args, "passes_a", None):
+        label_a += f"+{args.passes_a}"
+    if getattr(args, "passes_b", None):
+        label_b += f"+{args.passes_b}"
+    diff = diff_results(result_a, result_b, label_a=label_a, label_b=label_b)
     print(result_a.summary())
     print(result_b.summary())
     print(diff.format(top=args.top))
@@ -798,6 +852,46 @@ def _cmd_trace_diff(args: argparse.Namespace) -> int:
                   f"share of critical-path time ({-drop:+.1%} vs "
                   f"{args.impl_a})", file=sys.stderr)
             return 1
+    return 0
+
+
+def _cmd_ir(args: argparse.Namespace) -> int:
+    machine = preset(args.machine, nodes=args.nodes)
+    problem = JacobiProblem(n=args.n, iterations=args.iterations)
+    want_trace = bool(args.trace_before or args.trace_after)
+    kwargs = dict(machine=machine, policy=args.policy, trace=want_trace)
+    if args.impl != "petsc":
+        kwargs.update(tile=args.tile, steps=args.steps, ratio=args.ratio)
+    baseline = run(problem, impl=args.impl, **kwargs)
+    rewritten = run(problem, impl=args.impl, passes=args.passes, **kwargs)
+
+    print(rewritten.pass_reports.format())
+    delta = rewritten.elapsed - baseline.elapsed
+    rel = delta / baseline.elapsed if baseline.elapsed > 0 else 0.0
+    print(f"baseline : makespan {baseline.elapsed * 1e3:.3f} ms, "
+          f"{baseline.messages} msgs")
+    print(f"rewritten: makespan {rewritten.elapsed * 1e3:.3f} ms, "
+          f"{rewritten.messages} msgs")
+    print(f"makespan delta: {delta * 1e3:+.3f} ms ({rel:+.1%})")
+
+    if args.dot_before or args.dot_after:
+        from .runtime.dot import write_dot
+
+        if args.dot_before:
+            write_dot(baseline.graph, args.dot_before)
+            print(f"baseline graph written to {args.dot_before}")
+        if args.dot_after:
+            write_dot(rewritten.graph, args.dot_after)
+            print(f"rewritten graph written to {args.dot_after}")
+    if want_trace:
+        from .runtime import chrome_trace
+
+        if args.trace_before:
+            chrome_trace.write(baseline.trace, args.trace_before)
+            print(f"baseline trace written to {args.trace_before}")
+        if args.trace_after:
+            chrome_trace.write(rewritten.trace, args.trace_after)
+            print(f"rewritten trace written to {args.trace_after}")
     return 0
 
 
@@ -858,7 +952,8 @@ def _serve_knobs(args: argparse.Namespace) -> dict:
     """Solve-shape kwargs for a :class:`SolveRequest` from CLI flags."""
     machine = preset(args.machine, nodes=args.nodes)
     knobs = dict(impl=args.impl, machine=machine,
-                 backend=args.backend, jobs=args.jobs)
+                 backend=args.backend, jobs=args.jobs,
+                 passes=getattr(args, "passes", None))
     if args.impl != "petsc":
         knobs.update(tile=args.tile, ratio=args.ratio)
         if args.impl == "ca-parsec":
@@ -1156,6 +1251,7 @@ def main(argv: list[str] | None = None) -> int:
         "stats": _cmd_stats,
         "critpath": _cmd_critpath,
         "trace-diff": _cmd_trace_diff,
+        "ir": _cmd_ir,
         "experiment": _cmd_experiment,
         "serve": _cmd_serve,
         "submit": _cmd_submit,

@@ -66,6 +66,41 @@ def _publish_critpath(metrics, report, graph) -> None:
     report.metrics = metrics.snapshot()
 
 
+def _publish_ir_metrics(metrics, report) -> None:
+    """Mirror a pipeline's per-pass deltas into the registry so the
+    regression gate and ``repro trace-diff`` can prove what each pass
+    bought (counters only go up: negative deltas clamp to zero and the
+    signed totals live on the gauges)."""
+    if metrics is None:
+        return
+    for p in report.passes:
+        labels = {"pass": p.name}
+        metrics.counter(
+            "ir_pass_applied", help="rewrite passes applied"
+        ).inc(1, **labels)
+        metrics.counter(
+            "ir_pass_tasks_removed", help="tasks removed by rewrite passes"
+        ).inc(max(0, p.tasks_removed), **labels)
+        metrics.counter(
+            "ir_pass_messages_saved",
+            help="remote messages removed by rewrite passes",
+        ).inc(max(0, p.messages_saved), **labels)
+        metrics.counter(
+            "ir_pass_local_edges_removed",
+            help="local edges internalised by rewrite passes",
+        ).inc(max(0, p.local_edges_removed), **labels)
+    metrics.gauge(
+        "ir_tasks_removed", help="pipeline-total task delta (signed)"
+    ).set(report.tasks_removed)
+    metrics.gauge(
+        "ir_messages_saved", help="pipeline-total remote message delta (signed)"
+    ).set(report.messages_saved)
+    metrics.gauge(
+        "ir_remote_bytes_delta", unit="bytes",
+        help="pipeline-total remote byte delta (after - before)",
+    ).set(report.after.remote_bytes - report.before.remote_bytes)
+
+
 def run(
     problem: JacobiProblem,
     impl: str = "base-parsec",
@@ -92,6 +127,7 @@ def run(
     on_executor=None,
     executor_factory=None,
     chaos=None,
+    passes: str | None = None,
 ) -> RunResult:
     """Run ``problem`` with one implementation on one machine model.
 
@@ -137,6 +173,15 @@ def run(
     before the backend runs it.  A fault-free run pays nothing -- the
     backends only consult the context when one is attached.
 
+    ``passes`` rewrites the built graph through the IR pass pipeline
+    (:mod:`repro.ir`) before any backend sees it -- e.g.
+    ``passes="fuse,coarsen:factor=4"``.  Every pass is verified
+    against its declared invariants, the per-pass evidence lands in
+    ``result.pass_reports``, and the canonical pipeline spec is
+    recorded in ``result.params["passes"]``.  Mutually exclusive with
+    ``chaos`` (fault hooks instrument the original kernels, which a
+    rewrite may merge away).
+
     All selector strings are validated here, before any graph is
     built, so a typo fails with the list of choices instead of a
     confusing error deep in graph construction.
@@ -151,6 +196,18 @@ def run(
     if policy not in POLICIES:
         raise ValueError(
             f"unknown policy {policy!r}; choices: {tuple(sorted(POLICIES))}"
+        )
+    pass_list = None
+    if passes:
+        from ..ir import parse_pipeline
+
+        # Parsed up front so a typo fails here, not after the build.
+        pass_list = parse_pipeline(passes) or None
+    if pass_list is not None and chaos is not None:
+        raise ValueError(
+            "passes and chaos cannot combine: chaos instruments the "
+            "builder's original kernels and checkpoint boundaries, which "
+            "a rewrite pass may merge or wrap away"
         )
     if isinstance(tile, str) and tile != "auto":
         raise ValueError(f"tile must be an int, None or 'auto', got {tile!r}")
@@ -228,6 +285,21 @@ def run(
             )
             params.update(tile=tile, steps=steps, ratio=ratio, overlap=overlap)
 
+    pipe_report = None
+    if pass_list is not None:
+        from ..ir import PassContext, PassManager
+
+        manager = PassManager(pass_list)
+        ctx = PassContext(
+            machine=machine,
+            with_kernels=with_kernels,
+            ratio=ratio,
+            include_redundant=include_redundant,
+        )
+        built, pipe_report = manager.run(built, ctx)
+        params["passes"] = manager.spec
+        _publish_ir_metrics(metrics, pipe_report)
+
     if metrics is not None:
         # The static census is the ground truth the dynamic message
         # counters are judged against (`repro stats` prints both).
@@ -281,6 +353,7 @@ def run(
             params=params,
             grid=grid,
             graph=built.graph,
+            pass_reports=pipe_report,
         )
 
     if backend == "processes":
@@ -316,6 +389,7 @@ def run(
             params=params,
             grid=grid,
             graph=built.graph,
+            pass_reports=pipe_report,
         )
 
     engine = Engine(
@@ -341,4 +415,5 @@ def run(
         params=params,
         grid=grid,
         graph=built.graph,
+        pass_reports=pipe_report,
     )

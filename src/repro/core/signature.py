@@ -133,6 +133,20 @@ def problem_content_key(problem: Any) -> dict:
     return doc
 
 
+def passes_token(passes: Any) -> str | None:
+    """Lexical normalisation of an IR pipeline spec for keying:
+    whitespace stripped, empty segments dropped, ``None`` for "no
+    rewrite".  Callers that can afford to import :mod:`repro.ir`
+    should prefer ``repro.ir.canonical_pipeline`` (which also renders
+    defaulted parameters); this helper keeps the signature module
+    import-light for the caches that only compare keys.
+    """
+    if not passes:
+        return None
+    segments = [s.strip() for s in str(passes).split(",") if s.strip()]
+    return ",".join(segments) or None
+
+
 def solve_signature(
     problem: Any,
     machine: Any,
@@ -164,6 +178,7 @@ __all__ = [
     "array_digest",
     "fingerprint_dataclass",
     "machine_fingerprint",
+    "passes_token",
     "problem_content_key",
     "problem_signature",
     "solve_signature",

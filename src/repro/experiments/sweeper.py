@@ -31,7 +31,7 @@ from ..stencil.problem import JacobiProblem
 
 #: Axes forwarded to :func:`repro.core.runner.run` verbatim.
 RUN_AXES = ("impl", "tile", "steps", "ratio", "policy", "overlap",
-            "boundary_priority")
+            "boundary_priority", "passes")
 
 
 @dataclass

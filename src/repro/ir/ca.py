@@ -1,0 +1,74 @@
+"""Communication avoidance as a rewrite pass.
+
+Re-expresses :func:`repro.runtime.ca_transform.transform_build` -- the
+PA1 s-step deepening of the paper's Sec. IV -- inside the pass
+pipeline, so ``--passes ca:steps=4`` and a hand-built
+``ca-parsec --steps 4`` run produce census-identical graphs (the test
+suite asserts exactly that).
+
+Unlike the structural passes this one *re-derives* the graph from the
+build's :class:`~repro.core.dataflow.StencilSpec`: redundant ghost
+flops appear by design, remote bytes grow s-fold while message count
+drops s-fold.  It therefore only preserves ``useful_flops`` plus the
+terminal time-slice contract, and it demands a base (steps=1) stencil
+build to start from.
+"""
+
+from __future__ import annotations
+
+from ..runtime.ca_transform import CATransformError, transform_build
+from .core import GraphPass, PassContext, PassError, int_param, reject_unknown
+
+
+class CAInsertionPass(GraphPass):
+    """Deepen a base stencil build into an s-step CA build."""
+
+    name = "ca"
+    preserves = ("useful_flops",)
+
+    def __init__(self, steps: int) -> None:
+        #: The s in s-step: time steps advanced per graph wave.
+        self.steps = steps
+
+    def params(self) -> dict:
+        return {"steps": self.steps}
+
+    @classmethod
+    def from_params(cls, params: dict[str, str]) -> "CAInsertionPass":
+        steps = int_param(params, "steps", 0, cls.name, minimum=1)
+        reject_unknown(params, cls.name)
+        if steps < 1:
+            raise PassError("pass 'ca' requires steps=<s>, e.g. ca:steps=4")
+        return cls(steps=steps)
+
+    def apply(self, build, ctx: PassContext):
+        spec = getattr(build, "spec", None)
+        if spec is None:
+            raise PassError(
+                "pass 'ca' needs a stencil build exposing its spec; "
+                f"got {type(build).__name__}"
+            )
+        if spec.steps != 1:
+            raise PassError(
+                f"pass 'ca' must start from a base (steps=1) build, "
+                f"got steps={spec.steps}"
+            )
+        from ..stencil.cost import KernelCostModel
+
+        cost = KernelCostModel(
+            ctx.machine,
+            ratio=ctx.ratio,
+            include_redundant=ctx.include_redundant,
+        )
+        try:
+            new_build = transform_build(
+                build,
+                ctx.machine,
+                self.steps,
+                cost=cost,
+                with_kernels=ctx.with_kernels,
+            )
+        except CATransformError as exc:
+            raise PassError(f"pass 'ca': {exc}") from exc
+        notes = {"steps": self.steps, "tasks": len(new_build.graph)}
+        return new_build, notes

@@ -1,0 +1,160 @@
+"""Tile fusion: merge producer->consumer chains on the same node.
+
+A task whose *every* output is consumed by exactly one other task on
+the same node gains nothing from being a separate schedulable unit:
+the intermediate flow is a local edge the runtime still pays queue
+and per-task overhead for.  This pass contracts such chains (in-trees,
+in general: several single-consumer producers may feed one consumer)
+into one task that runs the member kernels back-to-back.
+
+The fused task keeps the chain *root*'s key (the final consumer), so
+downstream flows, priorities of external consumers and the terminal
+result slots are untouched; eligibility guarantees no intermediate
+output was externally visible.  The remote census is bit-identical by
+construction -- only same-node edges are ever internalised -- and the
+manager verifies exactly that.
+"""
+
+from __future__ import annotations
+
+from ..runtime.graph import TaskGraph
+from ..runtime.task import Flow, Task, TaskKey
+from .core import GraphPass, PassContext, int_param, reject_unknown
+from .rewrite import (
+    FusedKernel,
+    clone_task,
+    rebuild_graph,
+    sort_key,
+    with_graph,
+)
+
+
+def _fuse_edges(graph: TaskGraph, max_chain: int) -> dict[TaskKey, TaskKey]:
+    """``a -> b`` contraction edges: ``a`` is fused into its sole
+    consumer ``b``.  ``a`` qualifies when every one of its output tags
+    has consumers (no terminal results vanish) and the union of those
+    consumers is exactly one same-node task."""
+    edges: dict[TaskKey, TaskKey] = {}
+    for task in graph:
+        tags = graph.out_tags.get(task.key, ())
+        if not tags:
+            continue
+        consumers: set[TaskKey] = set()
+        dead_end = False
+        for tag in tags:
+            cons = graph.consumers.get((task.key, tag), ())
+            if not cons:
+                dead_end = True  # a terminal slot must stay addressable
+                break
+            consumers.update(cons)
+        if dead_end or len(consumers) != 1:
+            continue
+        consumer = next(iter(consumers))
+        if graph[consumer].node == task.node:
+            edges[task.key] = consumer
+    if max_chain:
+        # Cap component sizes by cutting every max_chain-th contraction
+        # along each chain, walked from its deepest producer.
+        depth: dict[TaskKey, int] = {}
+        for key in graph.topological_order():
+            nxt = edges.get(key)
+            if nxt is None:
+                continue
+            depth[nxt] = depth.get(key, 1) + 1
+            if depth[nxt] > max_chain:
+                del edges[key]
+                depth[nxt] = 1
+    return edges
+
+
+class FusePass(GraphPass):
+    """Contract same-node single-consumer chains into one task."""
+
+    name = "fuse"
+    preserves = (
+        "useful_flops",
+        "redundant_flops",
+        "remote_census",
+        "terminal_outputs",
+    )
+
+    def __init__(self, max_chain: int = 0) -> None:
+        #: Longest member chain one fused task may absorb (0 = unbounded).
+        self.max_chain = max_chain
+
+    def params(self) -> dict:
+        return {"max_chain": self.max_chain}
+
+    @classmethod
+    def from_params(cls, params: dict[str, str]) -> "FusePass":
+        max_chain = int_param(params, "max_chain", 0, cls.name)
+        reject_unknown(params, cls.name)
+        return cls(max_chain=max_chain)
+
+    def apply(self, build, ctx: PassContext):
+        graph: TaskGraph = build.graph
+        edges = _fuse_edges(graph, self.max_chain)
+        if not edges:
+            return build, {"chains": 0, "members_fused": 0}
+
+        # Component root: follow contraction edges to the task that is
+        # not itself contracted away.
+        root_of: dict[TaskKey, TaskKey] = {}
+
+        def find_root(key: TaskKey) -> TaskKey:
+            seen = []
+            while key in edges and key not in root_of:
+                seen.append(key)
+                key = edges[key]
+            root = root_of.get(key, key)
+            for k in seen:
+                root_of[k] = root
+            return root
+
+        members: dict[TaskKey, list[TaskKey]] = {}
+        for key in graph.topological_order():  # members land in dep order
+            root = find_root(key)
+            if root != key or key in edges:
+                members.setdefault(root, []).append(key)
+
+        new_tasks: list[Task] = []
+        chains = fused_members = 0
+        for task in graph:
+            key = task.key
+            if key in edges:
+                continue  # absorbed into its chain root
+            chain = members.get(key)
+            if not chain:
+                new_tasks.append(task)
+                continue
+            chains += 1
+            fused_members += len(chain)
+            component = set(chain) | {key}
+            member_tasks = tuple(graph[k] for k in chain) + (task,)
+            flows: dict[tuple[TaskKey, str], int] = {}
+            for member in member_tasks:
+                for flow in member.inputs:
+                    if flow.producer in component:
+                        continue  # internalised edge
+                    fkey = (flow.producer, flow.tag)
+                    flows[fkey] = max(flows.get(fkey, 0), flow.nbytes)
+            kernel = None
+            if any(m.kernel is not None for m in member_tasks):
+                kernel = FusedKernel(member_tasks, key)
+            new_tasks.append(clone_task(
+                task,
+                inputs=tuple(
+                    Flow(producer, tag, nbytes)
+                    for (producer, tag), nbytes in sorted(
+                        flows.items(), key=lambda item: (sort_key(item[0][0]), item[0][1])
+                    )
+                ),
+                cost=sum(m.cost for m in member_tasks),
+                flops=sum(m.flops for m in member_tasks),
+                redundant_flops=sum(m.redundant_flops for m in member_tasks),
+                priority=max(m.priority for m in member_tasks),
+                kernel=kernel,
+            ))
+        rewritten = rebuild_graph(new_tasks)
+        notes = {"chains": chains, "members_fused": fused_members}
+        return with_graph(build, rewritten), notes

@@ -1,0 +1,93 @@
+"""Latency tolerance: prioritise work that feeds remote consumers.
+
+Eijkhout's latency-hiding observation for stencils: the runtime can
+absorb network latency only if, at the moment a halo send should go
+out, the tiles that produce it are already done -- and if enough
+*independent* interior work remains to chew on while the receive is
+in flight.  Task priority is the knob the schedulers here expose
+(threads backend pops highest-priority-first; the simulator breaks
+ties by it), so this pass raises the priority of every task within
+``horizon`` dependency hops of a remote send, steepest at the send
+itself.
+
+Purely a scheduling-hint rewrite: the graph structure, every flow and
+the whole census are bit-identical, and the manager verifies that.
+"""
+
+from __future__ import annotations
+
+from ..runtime.graph import TaskGraph
+from ..runtime.task import Task, TaskKey
+from .core import GraphPass, PassContext, int_param, reject_unknown
+from .rewrite import clone_task, rebuild_graph, with_graph
+
+
+def remote_send_distance(graph: TaskGraph) -> dict[TaskKey, int]:
+    """Dependency-hop distance from each task to the nearest task
+    (itself included, distance 0) whose output crosses nodes."""
+    inf = len(graph.tasks) + 1
+    dist = {key: inf for key in graph.tasks}
+    successors: dict[TaskKey, list[TaskKey]] = {key: [] for key in graph.tasks}
+    for task in graph:
+        for flow in task.inputs:
+            successors[flow.producer].append(task.key)
+            if graph[flow.producer].node != task.node:
+                dist[flow.producer] = 0
+    for key in reversed(graph.topological_order()):
+        for succ in successors[key]:
+            dist[key] = min(dist[key], dist[succ] + 1)
+    return dist
+
+
+class LatencyPass(GraphPass):
+    """Boost priorities along the frontier that feeds remote sends."""
+
+    name = "latency"
+    preserves = (
+        "useful_flops",
+        "redundant_flops",
+        "remote_census",
+        "local_census",
+        "terminal_outputs",
+    )
+
+    def __init__(self, horizon: int = 3, boost: int = 2) -> None:
+        #: How many dependency hops ahead of a remote send still get a bump.
+        self.horizon = horizon
+        #: Priority increment per hop of proximity.
+        self.boost = boost
+
+    def params(self) -> dict:
+        return {"horizon": self.horizon, "boost": self.boost}
+
+    @classmethod
+    def from_params(cls, params: dict[str, str]) -> "LatencyPass":
+        horizon = int_param(params, "horizon", 3, cls.name, minimum=1)
+        boost = int_param(params, "boost", 2, cls.name, minimum=1)
+        reject_unknown(params, cls.name)
+        return cls(horizon=horizon, boost=boost)
+
+    def apply(self, build, ctx: PassContext):
+        graph: TaskGraph = build.graph
+        dist = remote_send_distance(graph)
+        new_tasks: list[Task] = []
+        bumped = 0
+        for task in graph:
+            d = dist[task.key]
+            if d <= self.horizon:
+                bumped += 1
+                new_tasks.append(clone_task(
+                    task,
+                    priority=task.priority + self.boost * (self.horizon - d + 1),
+                ))
+            else:
+                new_tasks.append(task)
+        if not bumped:
+            return build, {"reprioritized": 0}
+        rewritten = rebuild_graph(new_tasks)
+        notes = {
+            "reprioritized": bumped,
+            "horizon": self.horizon,
+            "boost": self.boost,
+        }
+        return with_graph(build, rewritten), notes

@@ -30,6 +30,11 @@ from ..machine.machine import MachineSpec
 from ..stencil.cost import KernelCostModel
 
 
+class CATransformError(ValueError):
+    """The CA transform cannot apply to this spec/steps combination
+    (wrong spec type aside, which stays a :class:`TypeError`)."""
+
+
 @dataclass(frozen=True)
 class CAPlan:
     """What the transform decided, for inspection/reporting."""
@@ -47,17 +52,25 @@ def apply_communication_avoidance(spec, steps: int):
 
     ``spec`` must be a base (``steps == 1``) stencil spec; returns the
     transformed spec with ``steps`` and the same problem/partition.
-    Raises when the transform cannot apply (step size larger than the
-    smallest tile -- replicated strips must come from one tile).
+    Raises :class:`CATransformError` when the transform cannot apply
+    (step size larger than the smallest tile dimension -- the s-deep
+    replicated strips must come from one tile).
     """
     from ..core.spec import StencilSpec  # local import: runtime <-> core layering
 
     if not isinstance(spec, StencilSpec):
         raise TypeError("expected a StencilSpec")
     if spec.steps != 1:
-        raise ValueError("the transform applies to base (steps=1) specs")
+        raise CATransformError("the transform applies to base (steps=1) specs")
     if steps < 1:
-        raise ValueError("step size must be >= 1")
+        raise CATransformError("step size must be >= 1")
+    min_dim = spec.partition.min_tile_dim()
+    if steps > min_dim:
+        raise CATransformError(
+            f"step size {steps} exceeds the smallest tile dimension "
+            f"{min_dim}; the s-deep PA1 strips must come from a single "
+            "tile"
+        )
     return replace(spec, steps=steps)
 
 

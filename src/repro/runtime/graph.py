@@ -96,22 +96,29 @@ class TaskGraph:
         self._finalized = True
         return self
 
-    def _check_acyclic(self) -> None:
-        """Kahn's algorithm; raises :class:`GraphError` with a sample of
-        the offending tasks if a cycle exists."""
+    def _kahn(self) -> tuple[list[TaskKey], dict[TaskKey, int]]:
+        """One Kahn sweep, shared by the cycle check and every
+        topological consumer: the visit order plus the final in-degree
+        map (entries left positive mark tasks stuck behind a cycle)."""
         indeg = {key: len(t.inputs) for key, t in self.tasks.items()}
         ready = deque(key for key, d in indeg.items() if d == 0)
-        seen = 0
+        order: list[TaskKey] = []
         while ready:
             key = ready.popleft()
-            seen += 1
+            order.append(key)
             task = self.tasks[key]
             for tag in self._out_tags(task):
                 for consumer in self.consumers.get((key, tag), ()):
                     indeg[consumer] -= 1
                     if indeg[consumer] == 0:
                         ready.append(consumer)
-        if seen != len(self.tasks):
+        return order, indeg
+
+    def _check_acyclic(self) -> None:
+        """Raises :class:`GraphError` with a sample of the offending
+        tasks if a cycle exists."""
+        order, indeg = self._kahn()
+        if len(order) != len(self.tasks):
             stuck = [k for k, d in indeg.items() if d > 0][:5]
             raise GraphError(f"task graph has a cycle; sample of blocked tasks: {stuck}")
 
@@ -180,7 +187,7 @@ class TaskGraph:
         if not self._finalized:
             raise GraphError("finalize() the graph before analysing it")
         dist: dict[TaskKey, float] = {}
-        for key in self._topological_order():
+        for key in self.topological_order():
             task = self.tasks[key]
             start = 0.0
             for flow in task.inputs:
@@ -188,19 +195,19 @@ class TaskGraph:
             dist[key] = start + task.cost
         return max(dist.values(), default=0.0)
 
-    def _topological_order(self) -> list[TaskKey]:
-        indeg = {key: len(t.inputs) for key, t in self.tasks.items()}
-        ready = deque(key for key, d in indeg.items() if d == 0)
-        order: list[TaskKey] = []
-        while ready:
-            key = ready.popleft()
-            order.append(key)
-            task = self.tasks[key]
-            for tag in self._out_tags(task):
-                for consumer in self.consumers.get((key, tag), ()):
-                    indeg[consumer] -= 1
-                    if indeg[consumer] == 0:
-                        ready.append(consumer)
+    def topological_order(self) -> list[TaskKey]:
+        """Every task key in dependency order (producers first).
+
+        The IR rewrite passes walk this to compute topological levels;
+        a cycle (possible when the graph was finalized with
+        ``validate=False``) raises rather than returning a silently
+        truncated order."""
+        if not self._finalized:
+            raise GraphError("finalize() the graph before analysing it")
+        order, indeg = self._kahn()
+        if len(order) != len(self.tasks):
+            stuck = [k for k, d in indeg.items() if d > 0][:5]
+            raise GraphError(f"task graph has a cycle; sample of blocked tasks: {stuck}")
         return order
 
     def nodes_used(self) -> set[int]:

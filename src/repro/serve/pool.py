@@ -168,6 +168,7 @@ def execute_request(
         metrics=metrics,
         on_executor=on_executor,
         executor_factory=factory,
+        passes=request.passes,
     )
     return outcome_from_result(
         result,

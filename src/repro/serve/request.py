@@ -104,6 +104,9 @@ class SolveRequest:
     #: fault plan spec (see :func:`repro.chaos.parse_plan`) injected
     #: into the run -- a chaos job; None runs fault-free.
     chaos_plan: str | None = None
+    #: IR rewrite pipeline (see :mod:`repro.ir`), canonicalised at
+    #: admission; None runs the builder's graph unrewritten.
+    passes: str | None = None
     #: per-request retry budget override (None -> the service's
     #: ``retry_budget``); a failed attempt re-queues the job until the
     #: budget is spent, resuming from its signature's last checkpoint.
@@ -141,6 +144,19 @@ class SolveRequest:
             from ..chaos.plan import parse_plan
 
             parse_plan(self.chaos_plan)
+        if self.passes is not None:
+            if self.chaos_plan is not None:
+                raise ValueError(
+                    "passes and chaos_plan cannot combine (the rewrite "
+                    "may merge the kernels chaos instruments)"
+                )
+            # Canonicalise at admission so equivalent spellings share
+            # one signature and one batch.
+            from ..ir import canonical_pipeline
+
+            object.__setattr__(
+                self, "passes", canonical_pipeline(self.passes) or None
+            )
 
     # -- identity --------------------------------------------------------
 
@@ -160,13 +176,18 @@ class SolveRequest:
         """The knobs that shape the *answer*, normalised: petsc has no
         tile/steps/ratio; base-parsec ignores the CA step count."""
         if self.impl == "petsc":
-            return {}
+            return {"passes": self.passes} if self.passes else {}
         params: dict[str, Any] = {
             "tile": self.resolved_tile(),
             "ratio": self.ratio,
         }
         if self.impl == "ca-parsec":
             params["steps"] = self.steps
+        if self.passes:
+            # Conservative: structural passes provably keep the grid
+            # bit-identical, but a rewritten request never shares a
+            # cache entry with an unrewritten one.
+            params["passes"] = self.passes
         return params
 
     def signature(self) -> str:
@@ -198,6 +219,7 @@ class SolveRequest:
             # Chaos jobs never fuse (or dedup) with fault-free jobs of
             # the same solve: faults and retries are per-plan state.
             self.chaos_plan,
+            self.passes,
         )
 
 

@@ -134,6 +134,7 @@ class TuningCache:
             "policy": candidate.policy,
             "overlap": candidate.overlap,
             "boundary_priority": candidate.boundary_priority,
+            "passes": candidate.passes,
             "machine": machine.name,
             "nodes": machine.nodes,
             "backend": backend,
@@ -174,4 +175,6 @@ class TuningCache:
             policy=str(entry["policy"]),
             overlap=bool(entry["overlap"]),
             boundary_priority=bool(entry["boundary_priority"]),
+            # Entries written before the IR pass axis carry no field.
+            passes=str(entry.get("passes", "") or ""),
         )

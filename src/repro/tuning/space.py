@@ -50,6 +50,8 @@ class Candidate:
     policy: str = "priority"
     overlap: bool = True
     boundary_priority: bool = True
+    #: IR rewrite pipeline spec ("" = no rewrite); see repro.ir.
+    passes: str = ""
 
     def run_kwargs(self, impl: str) -> dict:
         """The runner keyword arguments this candidate selects."""
@@ -61,6 +63,8 @@ class Candidate:
         }
         if impl == "ca-parsec":
             kwargs["steps"] = self.steps
+        if self.passes:
+            kwargs["passes"] = self.passes
         return kwargs
 
     def label(self) -> str:
@@ -73,6 +77,8 @@ class Candidate:
             parts.append("no-overlap")
         if not self.boundary_priority:
             parts.append("no-bprio")
+        if self.passes:
+            parts.append(f"passes={self.passes}")
         return " ".join(parts)
 
 
@@ -126,6 +132,21 @@ def invalid_reason(
             f"unknown policy {candidate.policy!r}; "
             f"choices: {tuple(sorted(POLICIES))}"
         )
+    if candidate.passes:
+        from ..ir import PassError, parse_pipeline
+
+        try:
+            passes = parse_pipeline(candidate.passes)
+        except PassError as exc:
+            return f"bad pass pipeline {candidate.passes!r}: {exc}"
+        if any(p.name == "ca" for p in passes):
+            # The steps axis already explores CA depth; a ca pass in
+            # the pipeline would tune the same knob twice (and it needs
+            # a steps=1 build, which the candidate may not be).
+            return (
+                "the 'ca' pass is not a tuning axis; CA depth is "
+                "explored via the steps axis"
+            )
     return None
 
 
@@ -166,6 +187,8 @@ class SearchSpace:
     policies: tuple[str, ...] = ("priority",)
     overlaps: tuple[bool, ...] = (True,)
     boundary_priorities: tuple[bool, ...] = (True,)
+    #: IR pipeline specs to cross in ("" = no rewrite).
+    pipelines: tuple[str, ...] = ("",)
     require_divisible: bool = True
 
     def __post_init__(self) -> None:
@@ -177,6 +200,7 @@ class SearchSpace:
         return (
             len(self.tiles) * len(self.steps) * len(self.policies)
             * len(self.overlaps) * len(self.boundary_priorities)
+            * len(self.pipelines)
         )
 
     def all_candidates(self) -> Iterator[Candidate]:
@@ -184,10 +208,12 @@ class SearchSpace:
         combos = product(
             sorted(self.tiles), sorted(self.steps), sorted(self.policies),
             sorted(self.overlaps), sorted(self.boundary_priorities),
+            sorted(self.pipelines),
         )
-        for tile, steps, policy, overlap, bprio in combos:
+        for tile, steps, policy, overlap, bprio, passes in combos:
             yield Candidate(tile=tile, steps=steps, policy=policy,
-                            overlap=overlap, boundary_priority=bprio)
+                            overlap=overlap, boundary_priority=bprio,
+                            passes=passes)
 
     def candidates(
         self, problem: JacobiProblem, machine: MachineSpec, impl: str
@@ -275,11 +301,19 @@ class SearchSpace:
         policies = tuple(sorted(POLICIES)) if wide else ("priority",)
         overlaps = (False, True) if wide else (True,)
         bprios = (False, True) if wide else (True,)
+        # The IR rewrite ladder: no rewrite, structural cleanup, and
+        # two coarsening granularities (the 'ca' pass is excluded by
+        # design -- the steps axis owns CA depth).
+        pipelines = (
+            ("", "fuse", "fuse,coarsen:factor=4", "fuse,coarsen:factor=8")
+            if wide else ("",)
+        )
         return cls(
             tiles=_thin_geometric(tiles, max_tiles),
             steps=steps,
             policies=policies,
             overlaps=overlaps,
             boundary_priorities=bprios,
+            pipelines=pipelines,
             require_divisible=require_divisible,
         )

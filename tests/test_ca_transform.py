@@ -5,7 +5,12 @@ import pytest
 
 from repro.core.base_parsec import build_base_graph
 from repro.machine.machine import nacl
-from repro.runtime.ca_transform import apply_communication_avoidance, plan, transform_build
+from repro.runtime.ca_transform import (
+    CATransformError,
+    apply_communication_avoidance,
+    plan,
+    transform_build,
+)
 from repro.runtime.engine import Engine
 
 from .conftest import random_problem
@@ -35,6 +40,20 @@ def test_transform_validation():
         apply_communication_avoidance(ca_spec, steps=3)
     with pytest.raises(TypeError):
         apply_communication_avoidance("not a spec", steps=2)
+
+
+def test_transform_raises_typed_error_on_oversized_steps():
+    """Regression: steps > min tile dimension must fail in the
+    transform itself with a typed error, not leak an untyped
+    ValueError out of the spec constructor."""
+    b = base_build()  # tile=4, so the smallest tile dimension is 4
+    with pytest.raises(CATransformError, match="smallest tile dimension"):
+        apply_communication_avoidance(b.spec, steps=5)
+    with pytest.raises(CATransformError):
+        apply_communication_avoidance(b.spec, steps=0)
+    assert issubclass(CATransformError, ValueError)  # old catches still work
+    # The boundary case (steps == min dim) remains legal.
+    assert apply_communication_avoidance(b.spec, steps=4).steps == 4
 
 
 def test_plan_quantifies_replication():

@@ -97,6 +97,24 @@ def test_critical_path_chain():
     assert g.critical_path() == pytest.approx(5.0)
 
 
+def test_topological_order():
+    g = chain(5).finalize()
+    order = g.topological_order()
+    assert order == [0, 1, 2, 3, 4]
+    g2 = chain(3)
+    with pytest.raises(GraphError, match="finalize"):
+        g2.topological_order()
+
+
+def test_topological_order_detects_cycles():
+    g = TaskGraph()
+    g.add_task("a", node=0, inputs=(Flow("b", "o", 8),), out_nbytes={"o": 8})
+    g.add_task("b", node=0, inputs=(Flow("a", "o", 8),), out_nbytes={"o": 8})
+    g.finalize(validate=False)  # validation would already refuse this
+    with pytest.raises(GraphError, match="cycle"):
+        g.topological_order()
+
+
 def test_critical_path_diamond():
     g = TaskGraph()
     g.add_task("s", node=0, cost=1.0, out_nbytes={"o": 8})
