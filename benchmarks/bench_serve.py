@@ -168,6 +168,57 @@ def test_cache_hit_executes_zero_tasks(tmp_path, show):
     })
 
 
+def _stream_seconds(lifecycle: bool, reps: int = 3) -> float:
+    """Best-of-``reps`` wall time for the full request stream through
+    a cache-less service (every request executes, so the lifecycle
+    span path is exercised end to end on each one)."""
+    best = float("inf")
+    for _ in range(reps):
+        config = ServiceConfig(workers=2, cache=False, tenant_limit=None,
+                               lifecycle=lifecycle)
+        with SolverService(config) as service:
+            client = SolverClient(service, tenant="bench")
+            t0 = time.perf_counter()
+            for wave in _waves():
+                futures = [
+                    client.submit(problem, machine=MACHINE,
+                                  backend="threads", jobs=2, **SOLVE)
+                    for problem in wave
+                ]
+                for future in futures:
+                    future.result(timeout=300)
+            best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_lifecycle_tracing_overhead(show):
+    """The always-on lifecycle tracer (spans + SLO histograms + flight
+    recorder) must cost <3% against the same service with tracing
+    detached -- the budget that justifies leaving it on."""
+    detached_s = _stream_seconds(lifecycle=False)
+    traced_s = _stream_seconds(lifecycle=True)
+    overhead = traced_s / detached_s - 1.0
+    show(
+        f"lifecycle tracing overhead ({REQUESTS} executed requests, "
+        f"best of 3):",
+        f"  detached : {detached_s:.3f} s",
+        f"  traced   : {traced_s:.3f} s",
+        f"  overhead : {100 * overhead:+.2f}%  (budget +3%)",
+    )
+    # 3% relative plus a 30 ms absolute floor so a sub-second stream's
+    # scheduling jitter cannot fail the gate spuriously.
+    assert traced_s <= detached_s * 1.03 + 0.03, (
+        f"lifecycle tracing costs {100 * overhead:.1f}% "
+        f"({detached_s:.3f}s -> {traced_s:.3f}s); the budget is 3%"
+    )
+    _emit("lifecycle_overhead", {
+        "requests": REQUESTS,
+        "detached_seconds": round(detached_s, 4),
+        "traced_seconds": round(traced_s, 4),
+        "overhead_pct": round(100 * overhead, 2),
+    })
+
+
 def test_multitenant_traffic(tmp_path, show):
     """Two tenants, interleaved submission, one service: records the
     fairness and batching statistics of a mixed stream."""

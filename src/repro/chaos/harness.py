@@ -397,6 +397,10 @@ def execute_with_resume(
     metrics=None,
     on_executor=None,
     checkpoint_dir: str | Path | None = None,
+    lifecycle=None,
+    trace_id: str | None = None,
+    parent_span_id: str | None = None,
+    want_trace: bool = False,
 ):
     """Serve-side chaos execution: ONE attempt, resuming from this
     signature's latest checkpoint if an earlier attempt died.
@@ -407,6 +411,11 @@ def execute_with_resume(
     and finishes the remaining sweeps instead of starting over.
     Returns a :class:`~repro.serve.request.SolveOutcome` whose
     ``recovered`` / ``faults_injected`` fields record what happened.
+
+    ``lifecycle``/``trace_id`` (a worker's span log plus the request's
+    lifecycle context) record a ``recover`` span under
+    ``parent_span_id`` when the attempt resumed from a checkpoint;
+    ``want_trace`` captures the execution-level trace on the outcome.
     """
     import tempfile
 
@@ -428,6 +437,7 @@ def execute_with_resume(
     injector = FaultInjector(plan, s=s, workdir=workdir)
     store = CheckpointStore(workdir / "ckpt") if request.impl != "petsc" else None
 
+    t_restore = time.monotonic()
     ckpt, ckpt_grid = _restore_point(store)
     problem = request.problem
     base = 0
@@ -438,6 +448,13 @@ def execute_with_resume(
             init=GridInit(ckpt_grid),
         )
         base = ckpt
+        if lifecycle is not None and trace_id is not None:
+            lifecycle.span(
+                trace_id, "recover", t_restore, time.monotonic(),
+                tenant=request.tenant, parent_span_id=parent_span_id,
+                checkpoint_step=ckpt,
+                iterations_remaining=problem.iterations,
+            )
     ctx = ChaosContext(injector, store=store, base=base, checkpoint_every=s)
 
     eff_steps = request.steps
@@ -454,6 +471,7 @@ def execute_with_resume(
         policy=request.policy,
         backend=request.backend,
         jobs=request.jobs,
+        trace=want_trace,
         metrics=metrics,
         on_executor=on_executor,
         chaos=ctx,
@@ -463,6 +481,9 @@ def execute_with_resume(
     )
     outcome.recovered = bool(ckpt)
     outcome.faults_injected = len(injector.firing_log())
+    outcome.trace_id = trace_id
+    if want_trace:
+        outcome.trace = result.trace
     if metrics is not None:
         counts: dict[str, int] = {}
         for rec in injector.firing_log():

@@ -365,6 +365,52 @@ def _add_serve_parser(sub: argparse._SubParsersAction) -> None:
                    help="disable the result cache")
     p.add_argument("--interval", type=float, default=0.5,
                    help="seconds between live progress samples")
+    p.add_argument("--trace-out", default=None, metavar="FILE.json",
+                   help="write the combined lifecycle + execution "
+                        "timeline as Chrome trace events (enables "
+                        "per-request execution tracing)")
+    p.add_argument("--otel-out", default=None, metavar="FILE.json",
+                   help="write the combined timeline as an OTel OTLP "
+                        "JSON document")
+
+
+def _add_slo_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "slo",
+        help="per-tenant SLO report (latency percentiles, error-budget "
+             "burn) from canned multi-tenant traffic",
+    )
+    _add_serve_request_flags(p)
+    p.add_argument("--tenants", type=int, default=2,
+                   help="synthetic tenants submitting traffic")
+    p.add_argument("--requests", type=int, default=4,
+                   help="requests per tenant")
+    p.add_argument("--workers", type=int, default=2,
+                   help="concurrent batches in flight (pool capacity)")
+    p.add_argument("--objective", type=float, default=0.99,
+                   help="availability objective the error budget burns "
+                        "against")
+    p.add_argument("--fault", default=None, metavar="PLAN",
+                   help="also submit one zero-retry request under this "
+                        "chaos plan (e.g. 'kill:node=1,step=1s'): the "
+                        "terminal failure exercises the flight recorder "
+                        "and prints the postmortem dump path")
+    p.add_argument("--dump-dir", default=None, metavar="DIR",
+                   help="directory flight-recorder dumps land in "
+                        "(default: <tempdir>/repro-postmortem)")
+
+
+def _add_postmortem_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "postmortem",
+        help="render a flight-recorder dump as a terminal timeline "
+             "with blame",
+    )
+    p.add_argument("dump", help="postmortem JSON the service dumped "
+                                "(see `repro slo --fault` or "
+                                "SolverService.stats()['postmortems'])")
+    p.add_argument("--width", type=int, default=100,
+                   help="maximum rendered line width")
 
 
 def _add_submit_parser(sub: argparse._SubParsersAction) -> None:
@@ -477,6 +523,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_experiment_parser(sub)
     _add_serve_parser(sub)
     _add_submit_parser(sub)
+    _add_slo_parser(sub)
+    _add_postmortem_parser(sub)
     _add_chaos_parser(sub)
     _add_validate_parser(sub)
     sub.add_parser("machines", help="list machine presets")
@@ -1018,6 +1066,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             cache: object = False
         else:
             cache = args.cache_dir if args.cache_dir else tmp
+        timeline_out = args.trace_out or args.otel_out
         config = ServiceConfig(
             pool=args.pool,
             workers=args.workers,
@@ -1027,6 +1076,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             batch_window_s=args.batch_window,
             max_batch=args.max_batch,
             cache=cache,
+            trace_requests=bool(timeline_out),
         )
         monitor = RunMonitor(interval=args.interval, stream=sys.stdout)
         with SolverService(config) as service:
@@ -1040,6 +1090,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 monitor.stop()
             snapshot = service.metrics.snapshot()
             stats = service.stats()
+            if timeline_out:
+                written = service.write_timeline(
+                    chrome=args.trace_out, otel=args.otel_out
+                )
+                for fmt, path in written.items():
+                    print(f"{fmt} timeline written to {path}")
     print(f"traffic: {args.tenants} tenants x {args.requests} requests "
           f"({len(problems)} distinct problems, second wave repeats)")
     print(f"outcomes: {tally['ok']} solved, {tally['cached']} cached, "
@@ -1048,6 +1104,81 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     pool = stats["pool"]
     print(f"pool at shutdown: kind={pool['kind']} spawned={pool['spawned']}")
     return 0 if tally["failed"] == 0 else 1
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """``repro slo``: canned multi-tenant traffic through a temporary
+    service, reported as per-tenant latency percentiles and
+    error-budget burn; ``--fault`` additionally forces one terminal
+    failure so the flight recorder dumps a postmortem."""
+    import tempfile
+
+    from .obs.slo import format_slo_report, slo_report
+    from .serve import (
+        ServeError,
+        ServiceConfig,
+        SolveRequest,
+        SolverService,
+    )
+
+    problems = [
+        JacobiProblem(n=args.n, iterations=args.iterations + k)
+        for k in range(2)
+    ]
+    knobs = _serve_knobs(args)
+    dump = None
+    with tempfile.TemporaryDirectory(prefix="repro-slo-") as tmp:
+        # A private checkpoint dir per invocation: chaos fault state is
+        # per-workdir, so a shared default would let a previous run's
+        # already-fired fault turn --fault into a clean recovery.
+        config = ServiceConfig(
+            workers=args.workers, jobs=args.jobs, cache=tmp,
+            dump_dir=args.dump_dir, checkpoint_dir=f"{tmp}/chaos",
+        )
+        with SolverService(config) as service:
+            tally = _serve_traffic(
+                service, args.tenants, args.requests, problems, knobs
+            )
+            if args.fault:
+                # A fresh problem shape: the solve signature ignores
+                # the chaos plan (faults cannot change the answer), so
+                # reusing a traffic problem would hit the result cache
+                # and never execute -- much less fail.
+                request = SolveRequest(
+                    problem=JacobiProblem(
+                        n=args.n, iterations=args.iterations + 17,
+                    ),
+                    tenant="chaos", chaos_plan=args.fault, retries=0,
+                    **{k: v for k, v in knobs.items() if k != "passes"},
+                )
+                try:
+                    service.submit(request).result(timeout=300)
+                except ServeError as exc:
+                    # The whole point: the zero-retry chaos request
+                    # fails terminally and trips the flight recorder.
+                    print(f"forced fault failed the request as "
+                          f"intended: {exc!r}")
+                dumps = service.stats().get("postmortems", [])
+                dump = dumps[-1] if dumps else None
+            snapshot = service.metrics.snapshot()
+    print(f"traffic: {args.tenants} tenants x {args.requests} requests")
+    print(f"outcomes: {tally['ok']} solved, {tally['cached']} cached, "
+          f"{tally['rejected']} rejected, {tally['failed']} failed")
+    print(format_slo_report(slo_report(snapshot, objective=args.objective)))
+    if args.fault:
+        if dump is None:
+            print("forced fault produced no postmortem dump")
+            return 1
+        print(f"postmortem dump: {dump}")
+    return 0 if tally["failed"] == 0 else 1
+
+
+def _cmd_postmortem(args: argparse.Namespace) -> int:
+    from .obs.lifecycle import format_postmortem, load_postmortem
+
+    doc = load_postmortem(args.dump)
+    print(format_postmortem(doc, width=args.width))
+    return 0
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -1255,6 +1386,8 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
+        "slo": _cmd_slo,
+        "postmortem": _cmd_postmortem,
         "chaos": _cmd_chaos,
         "validate": _cmd_validate,
         "machines": _cmd_machines,

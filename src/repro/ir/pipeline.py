@@ -17,6 +17,7 @@ undeclared census dimension is a miscompile, never a warning.
 from __future__ import annotations
 
 import math
+import time
 from typing import Any, Callable, Iterable
 
 from ..runtime.graph import GraphError, TaskGraph
@@ -195,6 +196,7 @@ class PassManager:
         before = GraphStats.of(graph)
         reports: list[PassReport] = []
         for p in self.passes:
+            t0 = time.perf_counter()
             new_build, notes = p.apply(build, ctx)
             new_graph: TaskGraph = new_build.graph
             if not new_graph.finalized:
@@ -228,6 +230,7 @@ class PassManager:
                 after=after,
                 invariants=invariants,
                 notes=dict(notes or {}),
+                elapsed_s=time.perf_counter() - t0,
             ))
             build, graph, before = new_build, new_graph, after
         return build, PipelineReport(spec=self.spec, passes=tuple(reports))

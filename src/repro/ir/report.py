@@ -71,6 +71,9 @@ class PassReport:
     #: machine-checkable contract).
     invariants: dict[str, bool] = field(default_factory=dict)
     notes: dict[str, Any] = field(default_factory=dict)
+    #: Wall time the manager spent applying and verifying this pass --
+    #: the raw material of the lifecycle ``ir_passes`` span.
+    elapsed_s: float = 0.0
 
     @property
     def tasks_removed(self) -> int:
@@ -100,6 +103,7 @@ class PassReport:
             "remote_bytes_delta": self.remote_bytes_delta,
             "invariants": dict(self.invariants),
             "notes": dict(self.notes),
+            "elapsed_s": self.elapsed_s,
         }
 
     def format(self) -> str:
@@ -131,6 +135,10 @@ class PipelineReport:
     passes: tuple[PassReport, ...]
 
     @property
+    def elapsed_s(self) -> float:
+        return sum(p.elapsed_s for p in self.passes)
+
+    @property
     def before(self) -> GraphStats:
         return self.passes[0].before
 
@@ -152,6 +160,7 @@ class PipelineReport:
             "passes": [p.to_doc() for p in self.passes],
             "tasks_removed": self.tasks_removed,
             "messages_saved": self.messages_saved,
+            "elapsed_s": self.elapsed_s,
         }
 
     def format(self) -> str:

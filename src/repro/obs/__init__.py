@@ -14,7 +14,11 @@ execution layer:
 * :mod:`repro.obs.monitor` -- live progress of a running backend and
   post-run summaries (the ``repro monitor`` / ``repro stats`` CLI);
 * :mod:`repro.obs.regress` -- the perf-regression gate comparing a
-  fresh run against recorded BENCH baselines with tolerances.
+  fresh run against recorded BENCH baselines with tolerances;
+* :mod:`repro.obs.lifecycle` -- request-scoped lifecycle spans, the
+  flight recorder and the combined service/execution timeline export;
+* :mod:`repro.obs.slo` -- per-tenant latency percentiles and
+  error-budget burn (the ``repro slo`` report).
 """
 
 from __future__ import annotations
@@ -28,6 +32,13 @@ from .critpath import (
     publish_critpath_metrics,
 )
 from .diff import TraceDiff, diff_results, diff_traces
+from .lifecycle import (
+    FlightRecorder,
+    LifecycleTracer,
+    LifeSpan,
+    format_postmortem,
+    load_postmortem,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -47,6 +58,7 @@ from .regress import (
     load_baseline,
     metrics_from_serve,
 )
+from .slo import format_slo_report, slo_gate_metrics, slo_report
 
 #: Environment variable enabling the debug-mode trace validation the
 #: engine and both real backends run after a traced run.
@@ -64,8 +76,11 @@ __all__ = [
     "Counter",
     "CritPathReport",
     "DEBUG_TRACE_ENV",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "LifeSpan",
+    "LifecycleTracer",
     "MetricRegistry",
     "MetricsSnapshot",
     "RegressReport",
@@ -76,11 +91,16 @@ __all__ = [
     "diff_results",
     "diff_traces",
     "find_stragglers",
+    "format_postmortem",
     "format_serve_summary",
+    "format_slo_report",
     "format_summary",
     "load_baseline",
+    "load_postmortem",
     "metrics_from_serve",
     "monitored_run",
     "publish_critpath_metrics",
+    "slo_gate_metrics",
+    "slo_report",
     "trace_validation_enabled",
 ]

@@ -322,17 +322,32 @@ def to_otel(
     trace: Trace,
     service_name: str = "repro",
     epoch_unix_nanos: int = 0,
+    trace_id: str | None = None,
+    parent_span_id: str | None = None,
 ) -> dict[str, Any]:
     """An OpenTelemetry-compatible JSON document (the OTLP/JSON trace
     shape: ``resourceSpans`` -> ``scopeSpans`` -> ``spans``).
 
     Trace seconds are mapped onto unix nanoseconds starting at
     ``epoch_unix_nanos``; span ids are deterministic hashes of the
-    span identity, so two exports of one trace are identical.
+    span *identity* -- node, lane, kind, timing, label plus an
+    occurrence counter for exact duplicates -- rather than of the
+    enumeration order, so re-exports of the same trace (and exports
+    of a re-recorded identical trace) correlate span for span.
+
+    ``trace_id`` overrides the derived document trace id (the serve
+    layer passes the request's lifecycle trace id so queue wait and
+    task kernels share one trace); ``parent_span_id`` parents every
+    exported span under an external span (the request's ``execute``
+    lifecycle span).
     """
-    trace_id = _span_id(f"{service_name}:{len(trace)}:{trace.makespan()}", 16)
+    if trace_id is None:
+        trace_id = _span_id(
+            f"{service_name}:{len(trace)}:{trace.makespan()}", 16
+        )
     spans = []
-    for i, span in enumerate(trace.spans):
+    occurrences: dict[str, int] = {}
+    for span in trace.spans:
         worker_name = "comm" if span.worker < 0 else f"worker-{span.worker}"
         attributes = [
             {"key": "node", "value": {"intValue": str(span.node)}},
@@ -348,16 +363,25 @@ def to_otel(
             attributes.append(
                 {"key": "task_id", "value": {"stringValue": repr(span.task_id)}}
             )
-        spans.append({
+        identity = (
+            f"{span.node}:{span.worker}:{span.kind}:{span.start}:"
+            f"{span.end}:{span.label!r}"
+        )
+        n = occurrences.get(identity, 0)
+        occurrences[identity] = n + 1
+        span_doc = {
             "traceId": trace_id,
-            "spanId": _span_id(f"{i}:{span.node}:{span.worker}:{span.kind}:{span.start}", 8),
+            "spanId": _span_id(f"{trace_id}:{identity}:{n}", 8),
             "name": span.kind,
             "kind": 1,  # SPAN_KIND_INTERNAL
             "startTimeUnixNano": str(epoch_unix_nanos + int(span.start * 1e9)),
             "endTimeUnixNano": str(epoch_unix_nanos + int(span.end * 1e9)),
             "attributes": attributes,
             "status": {},
-        })
+        }
+        if parent_span_id is not None:
+            span_doc["parentSpanId"] = parent_span_id
+        spans.append(span_doc)
     return {
         "resourceSpans": [{
             "resource": {

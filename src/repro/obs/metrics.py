@@ -46,6 +46,92 @@ def _labelset(labels: Mapping[str, object] | None) -> LabelSet:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def bucket_quantile(
+    bounds,
+    buckets,
+    count: int,
+    vmin: float | None,
+    vmax: float | None,
+    q: float,
+) -> float | None:
+    """Quantile estimate from fixed-bucket histogram state.
+
+    Walks the cumulative bucket counts to the bucket containing rank
+    ``q * count`` and interpolates linearly within it; the observed
+    ``vmin`` / ``vmax`` tighten the open-ended first and overflow
+    buckets and clamp the result, so ``q=0``/``q=1`` are exact and a
+    single-bucket distribution cannot report a value outside what was
+    actually observed.  Returns None for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if not count or vmin is None or vmax is None:
+        return None
+    vmin, vmax = float(vmin), float(vmax)
+    if q == 0.0:
+        return vmin
+    if q == 1.0:
+        return vmax
+    rank = q * count
+    cumulative = 0
+    for i, n in enumerate(buckets):
+        if not n:
+            continue
+        previous = cumulative
+        cumulative += n
+        if cumulative >= rank:
+            lo = bounds[i - 1] if i > 0 else vmin
+            hi = bounds[i] if i < len(bounds) else vmax
+            frac = (rank - previous) / n
+            value = lo + (hi - lo) * frac
+            return min(max(value, vmin), vmax)
+    return vmax
+
+
+def quantile_from_state(state: Mapping[str, object], q: float) -> float | None:
+    """:func:`bucket_quantile` over one snapshot histogram state (the
+    ``{"bounds", "buckets", "count", "sum", "min", "max"}`` dict that
+    :meth:`MetricRegistry.snapshot` emits)."""
+    return bucket_quantile(
+        state["bounds"], state["buckets"], state["count"],
+        state.get("min"), state.get("max"), q,
+    )
+
+
+def merge_histogram_states(states) -> dict | None:
+    """Fold several same-bounds histogram states into one (buckets and
+    counts add, min/max widen) -- the cross-tenant aggregate the SLO
+    regression gate compares.  Returns None for an empty iterable."""
+    out: dict | None = None
+    for state in states:
+        if out is None:
+            out = {
+                "bounds": list(state["bounds"]),
+                "buckets": list(state["buckets"]),
+                "count": state["count"],
+                "sum": state["sum"],
+                "min": state.get("min"),
+                "max": state.get("max"),
+            }
+            continue
+        if list(state["bounds"]) != out["bounds"]:
+            raise ValueError("histogram bucket mismatch on merge")
+        for i, n in enumerate(state["buckets"]):
+            out["buckets"][i] += n
+        out["count"] += state["count"]
+        out["sum"] += state["sum"]
+        if state["count"]:
+            out["min"] = (
+                state["min"] if out["min"] is None
+                else min(out["min"], state["min"])
+            )
+            out["max"] = (
+                state["max"] if out["max"] is None
+                else max(out["max"], state["max"])
+            )
+    return out
+
+
 class _Metric:
     """Common shape of the three metric families."""
 
@@ -168,6 +254,15 @@ class HistogramCell:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float | None:
+        """Interpolated quantile of this cell (None when empty)."""
+        return bucket_quantile(
+            self.bounds, self.buckets, self.count,
+            self.min if self.count else None,
+            self.max if self.count else None,
+            q,
+        )
+
 
 class Histogram(_Metric):
     """Distribution of observations (task durations, queue depths)."""
@@ -191,6 +286,29 @@ class Histogram(_Metric):
 
     def observe(self, value: float, **labels: object) -> None:
         self.labels(**labels).observe(value)
+
+    def quantile(self, q: float, **labels: object) -> float | None:
+        """Interpolated quantile: with labels, that cell's; without,
+        the aggregate across every label set.  None when empty."""
+        if labels:
+            cell = self._cells.get(_labelset(labels))
+            return cell.quantile(q) if cell is not None else None
+        cells = list(self.cells().values())
+        if not cells:
+            return None
+        buckets = [0] * (len(self.buckets) + 1)
+        count, vmin, vmax = 0, float("inf"), float("-inf")
+        for cell in cells:
+            for i, n in enumerate(cell.buckets):
+                buckets[i] += n
+            count += cell.count
+            if cell.count:
+                vmin = min(vmin, cell.min)
+                vmax = max(vmax, cell.max)
+        return bucket_quantile(
+            self.buckets, buckets, count,
+            vmin if count else None, vmax if count else None, q,
+        )
 
 
 @dataclass(frozen=True)
@@ -424,4 +542,7 @@ __all__ = [
     "HistogramCell",
     "MetricRegistry",
     "MetricsSnapshot",
+    "bucket_quantile",
+    "merge_histogram_states",
+    "quantile_from_state",
 ]

@@ -302,4 +302,13 @@ def format_serve_summary(snapshot: MetricsSnapshot) -> str:
     for ls, state in sorted(inflight.items()):
         row(f"  tenant={dict(ls).get('tenant', '?')} in-flight peak",
             f"{state['max']:.0f}")
+    e2e = snapshot.labelled("slo_e2e_seconds")
+    if e2e:
+        from .metrics import quantile_from_state
+        row("e2e latency p95 (by tenant)", "")
+        for ls, state in sorted(e2e.items()):
+            p95 = quantile_from_state(state, 0.95)
+            row(f"  tenant={dict(ls).get('tenant', '?')}",
+                "-" if p95 is None else f"{p95:.6f} s"
+                f" ({state['count']} requests)")
     return "\n".join(lines)

@@ -60,7 +60,7 @@ _SKIP_HINTS = ("unix_time", "timestamp", "paper_range", "budget",
                "reject", "batch_size")
 _LOWER_HINTS = ("elapsed", "makespan", "seconds", "latency", "messages",
                 "bytes", "runs_used", "misses", "redundant", "comm_share",
-                "cold_start", "expired")
+                "cold_start", "expired", "burn")
 _HIGHER_HINTS = ("gflops", "occupancy", "hit_rate", "hits", "speedup",
                  "efficiency", "bandwidth", "critpath_ratio",
                  "warm_start", "throughput")
@@ -261,6 +261,10 @@ def metrics_from_serve(snapshot: Any) -> dict[str, float]:
     expired = snapshot.counter("serve_deadline_expired_total")
     if expired:
         out["serve_deadline_expired"] = float(expired)
+    # SLO aggregates (p95 latencies, error-budget burn) gate alongside
+    # the serving rates whenever the snapshot carries lifecycle data.
+    from .slo import slo_gate_metrics
+    out.update(slo_gate_metrics(snapshot))
     return out
 
 

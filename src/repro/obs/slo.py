@@ -1,0 +1,209 @@
+"""Per-tenant SLO reporting over the lifecycle tracer's histograms.
+
+The :class:`~repro.obs.lifecycle.LifecycleTracer` observes, for every
+finished request, three per-tenant latency histograms
+(``slo_queue_wait_seconds``, ``slo_exec_seconds``, ``slo_e2e_seconds``)
+and a per-tenant/status counter (``slo_requests_total``).  This module
+turns a :class:`~repro.obs.metrics.MetricsSnapshot` of those metrics
+into
+
+* :func:`slo_report` -- per-tenant p50/p95/p99 for queue wait,
+  execution and end-to-end latency, plus the request mix and the
+  **error-budget burn rate** against a target objective (burn 1.0 =
+  consuming the budget exactly as fast as the objective allows;
+  > 1.0 = on track to blow the SLO),
+* :func:`format_slo_report` -- the terminal table behind
+  ``repro slo``, and
+* :func:`slo_gate_metrics` -- flat ``name -> value`` aggregates
+  (tenant histograms merged) the regression gate folds into
+  ``repro stats --check``.
+
+Quantiles come from :func:`~repro.obs.metrics.bucket_quantile`
+(linear interpolation inside fixed buckets, clamped to the observed
+min/max), so the report needs only a snapshot -- no raw samples, no
+live service.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .lifecycle import ERROR_STATUSES
+from .metrics import (
+    MetricsSnapshot,
+    merge_histogram_states,
+    quantile_from_state,
+)
+
+#: histogram metric -> short column name used in reports
+LATENCY_METRICS = (
+    ("slo_queue_wait_seconds", "queue_wait"),
+    ("slo_exec_seconds", "exec"),
+    ("slo_e2e_seconds", "e2e"),
+)
+
+QUANTILES = (0.50, 0.95, 0.99)
+
+
+def _values(snapshot, name: str) -> dict:
+    data = snapshot.data if isinstance(snapshot, MetricsSnapshot) else snapshot
+    entry = data.get(name)
+    if not entry:
+        return {}
+    return entry.get("values", {})
+
+
+def _label(labelset, key: str) -> str | None:
+    for k, v in labelset:
+        if k == key:
+            return v
+    return None
+
+
+def slo_report(snapshot, objective: float = 0.99) -> dict:
+    """Per-tenant SLO summary from a metrics snapshot.
+
+    Returns ``{"objective", "tenants": {tenant: {...}}}`` where each
+    tenant entry carries ``requests`` (total finished), ``statuses``
+    (status -> count), ``errors``, ``error_rate``, ``burn`` (error
+    rate over the objective's allowance) and, per latency metric,
+    ``{metric: {"p50", "p95", "p99", "count", "mean"}}``.  Tenants
+    appear sorted.  ``rejected`` requests count toward the mix but not
+    toward the error budget: admission control refusing work is the
+    service protecting itself, not failing the tenant.
+    """
+    if not 0.0 < objective < 1.0:
+        raise ValueError(f"objective must be in (0, 1), got {objective}")
+    tenants: dict[str, dict] = {}
+
+    def entry(tenant: str) -> dict:
+        return tenants.setdefault(tenant, {
+            "requests": 0,
+            "statuses": {},
+            "errors": 0,
+            "error_rate": 0.0,
+            "burn": 0.0,
+            "latency": {},
+        })
+
+    for ls, count in _values(snapshot, "slo_requests_total").items():
+        tenant = _label(ls, "tenant") or "default"
+        status = _label(ls, "status") or "ok"
+        t = entry(tenant)
+        t["requests"] += int(count)
+        t["statuses"][status] = t["statuses"].get(status, 0) + int(count)
+        if status in ERROR_STATUSES:
+            t["errors"] += int(count)
+
+    for metric, short in LATENCY_METRICS:
+        for ls, state in _values(snapshot, metric).items():
+            tenant = _label(ls, "tenant") or "default"
+            lat = entry(tenant)["latency"]
+            lat[short] = {
+                f"p{int(q * 100)}": quantile_from_state(state, q)
+                for q in QUANTILES
+            }
+            lat[short]["count"] = state["count"]
+            lat[short]["mean"] = (
+                state["sum"] / state["count"] if state["count"] else None
+            )
+
+    allowance = 1.0 - objective
+    for t in tenants.values():
+        if t["requests"]:
+            t["error_rate"] = t["errors"] / t["requests"]
+            t["burn"] = t["error_rate"] / allowance
+    return {
+        "objective": objective,
+        "tenants": dict(sorted(tenants.items())),
+    }
+
+
+def _fmt_s(value) -> str:
+    if value is None:
+        return "-"
+    if value >= 100:
+        return f"{value:.0f}s"
+    if value >= 1:
+        return f"{value:.2f}s"
+    return f"{value * 1000:.1f}ms"
+
+
+def format_slo_report(report: Mapping, width: int = 100) -> str:
+    """Terminal rendering of :func:`slo_report` (``repro slo``)."""
+    objective = report["objective"]
+    lines = [
+        f"SLO report  (objective {objective:.2%}, "
+        f"error budget {1 - objective:.2%})",
+    ]
+    tenants = report["tenants"]
+    if not tenants:
+        lines.append("  no finished requests recorded")
+        return "\n".join(lines)
+    header = (
+        f"  {'tenant':<12} {'metric':<10} "
+        + " ".join(f"{'p' + str(int(q * 100)):>9}" for q in QUANTILES)
+        + f" {'count':>7}"
+    )
+    for tenant, t in tenants.items():
+        lines.append("")
+        mix = ", ".join(
+            f"{status}={count}"
+            for status, count in sorted(t["statuses"].items())
+        )
+        lines.append(
+            f"  {tenant}: {t['requests']} requests ({mix})  "
+            f"error rate {t['error_rate']:.2%}  "
+            f"burn {t['burn']:.2f}x"
+        )
+        lines.append(header[:width])
+        for _, short in LATENCY_METRICS:
+            lat = t["latency"].get(short)
+            if lat is None:
+                continue
+            row = (
+                f"  {tenant:<12} {short:<10} "
+                + " ".join(
+                    f"{_fmt_s(lat['p' + str(int(q * 100))]):>9}"
+                    for q in QUANTILES
+                )
+                + f" {lat['count']:>7}"
+            )
+            lines.append(row[:width])
+    return "\n".join(lines)
+
+
+def slo_gate_metrics(snapshot) -> dict[str, float]:
+    """Flat aggregate SLO gauges for the regression gate: tenant
+    histograms merged, p95 taken over the merged state, plus the
+    service-wide error-budget burn at a 99% objective.  Absent
+    metrics produce no keys (the gate treats them as missing, not
+    zero)."""
+    out: dict[str, float] = {}
+    for metric, short in LATENCY_METRICS:
+        merged = merge_histogram_states(
+            _values(snapshot, metric).values()
+        )
+        if merged is None or not merged["count"]:
+            continue
+        p95 = quantile_from_state(merged, 0.95)
+        if p95 is not None:
+            out[f"slo_{short}_p95_seconds"] = p95
+    requests = errors = 0
+    for ls, count in _values(snapshot, "slo_requests_total").items():
+        requests += int(count)
+        if (_label(ls, "status") or "ok") in ERROR_STATUSES:
+            errors += int(count)
+    if requests:
+        # "budget" is a skip-hint in the gate, so the key says "burn".
+        out["slo_error_burn"] = (errors / requests) / 0.01
+    return out
+
+
+__all__ = [
+    "LATENCY_METRICS",
+    "QUANTILES",
+    "format_slo_report",
+    "slo_gate_metrics",
+    "slo_report",
+]

@@ -71,6 +71,7 @@ class BatchCollector:
         window_s: float = 0.005,
         max_batch: int = 8,
         metrics=None,
+        lifecycle=None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
@@ -79,6 +80,9 @@ class BatchCollector:
         self.queue = queue
         self.window_s = window_s
         self.max_batch = max_batch
+        #: Optional :class:`~repro.obs.lifecycle.LifecycleTracer` the
+        #: fusion window reports ``batch_fuse`` spans to.
+        self._lifecycle = lifecycle
         # Several runner threads collect concurrently; the lock keeps
         # the metric cells single-writer.
         self._mlock = threading.Lock()
@@ -106,6 +110,7 @@ class BatchCollector:
         leader = self.queue.take(timeout)
         if leader is None:
             return None
+        t_window = time.monotonic()
         jobs = [leader]
         key = leader.request.batch_key()
         if self.max_batch > 1:
@@ -130,6 +135,13 @@ class BatchCollector:
                 self._h_size.observe(len(jobs))
                 if batch.duplicates:
                     self._c_dedup.inc(batch.duplicates)
+        if self._lifecycle is not None:
+            trace_id = leader.extra.get("trace_id")
+            if trace_id is not None:
+                self._lifecycle.span(
+                    trace_id, "batch_fuse", t_window, time.monotonic(),
+                    jobs=len(jobs), dedup=batch.duplicates,
+                )
         return batch
 
 

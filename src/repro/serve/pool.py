@@ -33,6 +33,7 @@ import threading
 import time
 from typing import Callable
 
+from ..obs.lifecycle import SpanLog
 from .request import (
     DeadlineExpired,
     SolveRequest,
@@ -41,9 +42,12 @@ from .request import (
 )
 
 #: One unit of pool work: (job seq, request, absolute monotonic
-#: deadline or None).  Sequence numbers let the reaper target the
-#: currently-running job.
-WorkItem = tuple[int, SolveRequest, float | None]
+#: deadline or None[, lifecycle trace id or None]).  Sequence numbers
+#: let the reaper target the currently-running job; the trace id
+#: (optional on the wire -- a 3-tuple runs untraced) carries the
+#: request's lifecycle context into the worker, fork boundary
+#: included.
+WorkItem = tuple[int, SolveRequest, float | None, str | None]
 
 
 class WarmSlot:
@@ -126,6 +130,10 @@ def execute_request(
     metrics=None,
     on_executor: Callable | None = None,
     checkpoint_dir=None,
+    lifecycle: SpanLog | None = None,
+    trace_id: str | None = None,
+    parent_span_id: str | None = None,
+    want_trace: bool = False,
 ):
     """Run one request to a reduced
     :class:`~repro.serve.request.SolveOutcome`.
@@ -140,6 +148,11 @@ def execute_request(
     signature's latest checkpoint under ``checkpoint_dir`` if an
     earlier attempt died (the service's retry budget drives the
     re-submission; this function never loops).
+
+    ``lifecycle``/``trace_id`` record request-scoped spans (an
+    ``ir_passes`` child when the request carried a rewrite pipeline)
+    under ``parent_span_id``; ``want_trace`` captures the
+    execution-level trace on the outcome for the combined timeline.
     """
     from ..core.runner import run
 
@@ -148,12 +161,15 @@ def execute_request(
 
         return execute_with_resume(
             request, metrics=metrics, on_executor=on_executor,
-            checkpoint_dir=checkpoint_dir,
+            checkpoint_dir=checkpoint_dir, lifecycle=lifecycle,
+            trace_id=trace_id, parent_span_id=parent_span_id,
+            want_trace=want_trace,
         )
 
     factory = None
     if slot is not None and request.backend != "sim":
         factory = slot.factory
+    t0 = time.monotonic()
     result = run(
         request.problem,
         impl=request.impl,
@@ -165,35 +181,66 @@ def execute_request(
         policy=request.policy,
         backend=request.backend,
         jobs=request.jobs,
+        trace=want_trace,
         metrics=metrics,
         on_executor=on_executor,
         executor_factory=factory,
         passes=request.passes,
     )
-    return outcome_from_result(
+    if (
+        lifecycle is not None and trace_id is not None
+        and result.pass_reports is not None
+    ):
+        # The rewrite happened first inside run(); its measured wall
+        # time anchors the span at the front of the execute window.
+        pr = result.pass_reports
+        lifecycle.span(
+            trace_id, "ir_passes", t0, t0 + pr.elapsed_s,
+            tenant=request.tenant, parent_span_id=parent_span_id,
+            spec=pr.spec, tasks_removed=pr.tasks_removed,
+            messages_saved=pr.messages_saved,
+        )
+    outcome = outcome_from_result(
         result,
         signature=request.signature(),
         tenant=request.tenant,
         warm=slot.last_was_warm if slot is not None else False,
     )
+    outcome.trace_id = trace_id
+    if want_trace:
+        outcome.trace = result.trace
+    return outcome
 
 
 def _run_items(items: list[WorkItem], slot: WarmSlot, capture=None,
-               checkpoint_dir=None):
+               checkpoint_dir=None, origin: str = "worker",
+               want_trace: bool = False):
     """Shared worker loop: solve each item on ``slot``, honouring
     per-item deadlines, into ``(status, payload)`` pairs plus the
-    batch's metrics snapshot."""
+    batch's metrics snapshot and its lifecycle spans (an ``execute``
+    span per traced item, parenting any ``ir_passes``/``recover``
+    children the run recorded).  Items may be 3-tuples (untraced) or
+    4-tuples carrying the request's trace id."""
     from ..exec.futures import RunCancelled
     from ..obs.metrics import MetricRegistry
 
     reg = MetricRegistry()
+    log = SpanLog(origin=origin)
     out: list[tuple[str, object]] = []
-    for seq, request, deadline in items:
+    for item in items:
+        seq, request, deadline = item[:3]
+        trace_id = item[3] if len(item) > 3 else None
         if deadline is not None and time.monotonic() >= deadline:
             out.append(("expired", DeadlineExpired(
                 f"job {seq} expired before execution started"
             )))
             continue
+        exec_id = (
+            log.allocate(trace_id, "execute")
+            if trace_id is not None else None
+        )
+        t0 = time.monotonic()
+        status, error = "ok", None
         try:
             if capture is not None:
                 capture.arm(seq)
@@ -201,18 +248,33 @@ def _run_items(items: list[WorkItem], slot: WarmSlot, capture=None,
                 request, slot=slot, metrics=reg,
                 on_executor=capture.seen if capture is not None else None,
                 checkpoint_dir=checkpoint_dir,
+                lifecycle=log if trace_id is not None else None,
+                trace_id=trace_id, parent_span_id=exec_id,
+                want_trace=want_trace,
             )
             out.append(("ok", outcome))
         except RunCancelled:
+            status, error = "expired", "cancelled at deadline"
             out.append(("expired", DeadlineExpired(
                 f"job {seq} cancelled at its deadline mid-run"
             )))
         except Exception as exc:  # noqa: BLE001 - forwarded to the future
+            status, error = "error", repr(exc)
             out.append(("error", exc))
         finally:
             if capture is not None:
                 capture.disarm()
-    return out, reg.snapshot()
+        if trace_id is not None:
+            attrs = {"seq": seq, "worker": slot.name,
+                     "warm": slot.last_was_warm}
+            if error is not None:
+                attrs["error"] = error
+            log.span(
+                trace_id, "execute", t0, time.monotonic(),
+                status="ok" if status == "ok" else "error",
+                tenant=request.tenant, span_id=exec_id, **attrs,
+            )
+    return out, reg.snapshot(), log.spans
 
 
 class _CancelScope:
@@ -264,19 +326,22 @@ class InProcessWorker:
 
     kind = "threads"
 
-    def __init__(self, name: str, checkpoint_dir=None) -> None:
+    def __init__(self, name: str, checkpoint_dir=None,
+                 want_trace: bool = False) -> None:
         self.name = name
         self.slot = WarmSlot(name)
         self.idle_since = time.monotonic()
         self._scope = _CancelScope()
         self._checkpoint_dir = checkpoint_dir
+        self._want_trace = want_trace
 
     def alive(self) -> bool:
         return True
 
     def run_batch(self, items: list[WorkItem]):
         return _run_items(items, self.slot, capture=self._scope,
-                          checkpoint_dir=self._checkpoint_dir)
+                          checkpoint_dir=self._checkpoint_dir,
+                          origin=self.name, want_trace=self._want_trace)
 
     def cancel(self, seq: int | None = None) -> bool:
         return self._scope.cancel(seq)
@@ -285,10 +350,13 @@ class InProcessWorker:
         self.slot._executor = None  # free the warm executor's memory
 
 
-def _pool_child_main(conn, name: str, checkpoint_dir=None) -> None:
+def _pool_child_main(conn, name: str, checkpoint_dir=None,
+                     want_trace: bool = False) -> None:
     """Entry point of one persistent forked child: loop on the pipe,
-    solve batches on a child-local warm slot, ship reduced outcomes
-    and the batch's metrics snapshot back."""
+    solve batches on a child-local warm slot, ship reduced outcomes,
+    the batch's metrics snapshot and its lifecycle spans back.  Span
+    timestamps need no adjustment: ``time.monotonic`` is
+    CLOCK_MONOTONIC, shared with the forking parent on Linux."""
     slot = WarmSlot(name)
     while True:
         try:
@@ -301,14 +369,21 @@ def _pool_child_main(conn, name: str, checkpoint_dir=None) -> None:
         _, items = msg
         # Relative deadlines -> this process's monotonic clock.
         now = time.monotonic()
-        local = [
-            (seq, req, None if remaining is None else now + remaining)
-            for seq, req, remaining in items
-        ]
-        results, snapshot = _run_items(local, slot,
-                                       checkpoint_dir=checkpoint_dir)
+        local = []
+        for item in items:
+            seq, req, remaining = item[:3]
+            trace_id = item[3] if len(item) > 3 else None
+            local.append((
+                seq, req,
+                None if remaining is None else now + remaining,
+                trace_id,
+            ))
+        results, snapshot, spans = _run_items(
+            local, slot, checkpoint_dir=checkpoint_dir, origin=name,
+            want_trace=want_trace,
+        )
         try:
-            conn.send(("done", results, snapshot))
+            conn.send(("done", results, snapshot, spans))
         except (BrokenPipeError, OSError):
             return
 
@@ -318,14 +393,15 @@ class ProcessWorker:
 
     kind = "processes"
 
-    def __init__(self, name: str, checkpoint_dir=None) -> None:
+    def __init__(self, name: str, checkpoint_dir=None,
+                 want_trace: bool = False) -> None:
         self.name = name
         self.idle_since = time.monotonic()
         ctx = mp.get_context("fork")
         self._conn, child_conn = ctx.Pipe(duplex=True)
         self._proc = ctx.Process(
             target=_pool_child_main,
-            args=(child_conn, name, checkpoint_dir),
+            args=(child_conn, name, checkpoint_dir, want_trace),
             name=f"repro-serve-{name}",
             daemon=True,
         )
@@ -337,10 +413,15 @@ class ProcessWorker:
 
     def run_batch(self, items: list[WorkItem]):
         now = time.monotonic()
-        wire = [
-            (seq, req, None if dl is None else max(0.0, dl - now))
-            for seq, req, dl in items
-        ]
+        wire = []
+        for item in items:
+            seq, req, dl = item[:3]
+            trace_id = item[3] if len(item) > 3 else None
+            wire.append((
+                seq, req,
+                None if dl is None else max(0.0, dl - now),
+                trace_id,
+            ))
         try:
             self._conn.send(("batch", wire))
             msg = self._conn.recv()
@@ -348,8 +429,9 @@ class ProcessWorker:
             raise WorkerDied(
                 f"pool worker {self.name} died mid-batch: {exc!r}"
             ) from exc
-        _, results, snapshot = msg
-        return results, snapshot
+        results, snapshot = msg[1], msg[2]
+        spans = msg[3] if len(msg) > 3 else []
+        return results, snapshot, spans
 
     def cancel(self, seq: int | None = None) -> bool:
         """Deadline enforcement for a child is the blunt instrument:
@@ -388,6 +470,7 @@ class WorkerPool:
         metrics=None,
         name: str = "pool",
         checkpoint_dir=None,
+        want_trace: bool = False,
     ) -> None:
         if kind not in ("threads", "processes"):
             raise ValueError(
@@ -401,6 +484,7 @@ class WorkerPool:
         self.idle_timeout_s = idle_timeout_s
         self.name = name
         self.checkpoint_dir = checkpoint_dir
+        self.want_trace = want_trace
         self._lock = threading.Lock()
         self._free = threading.Condition(self._lock)
         self._idle: list = []
@@ -428,9 +512,11 @@ class WorkerPool:
         self._spawned += 1
         name = f"{self.name}-{self.kind}-{self._spawned}"
         worker = (
-            InProcessWorker(name, checkpoint_dir=self.checkpoint_dir)
+            InProcessWorker(name, checkpoint_dir=self.checkpoint_dir,
+                            want_trace=self.want_trace)
             if self.kind == "threads"
-            else ProcessWorker(name, checkpoint_dir=self.checkpoint_dir)
+            else ProcessWorker(name, checkpoint_dir=self.checkpoint_dir,
+                               want_trace=self.want_trace)
         )
         if self._metrics is not None:
             self._g_workers.set(len(self._idle) + len(self._busy) + 1)

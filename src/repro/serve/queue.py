@@ -98,10 +98,15 @@ class JobQueue:
         tenant_limit: int | None = 2,
         tenant_limits: dict[str, int] | None = None,
         metrics=None,
+        lifecycle=None,
     ) -> None:
         if max_depth < 1:
             raise ValueError(f"max_depth must be positive, got {max_depth}")
         self.max_depth = max_depth
+        #: Optional :class:`~repro.obs.lifecycle.LifecycleTracer`; jobs
+        #: whose ``extra`` carries a ``trace_id`` get ``queued`` spans
+        #: (and terminal finishes on purge/close) recorded against it.
+        self._lifecycle = lifecycle
         self._cap_default = tenant_limit
         self._caps = dict(tenant_limits or {})
         self._lock = threading.Lock()
@@ -143,6 +148,27 @@ class JobQueue:
 
     def next_seq(self) -> int:
         return next(self._seq)
+
+    # -- lifecycle spans -------------------------------------------------
+
+    def _record_queued(self, job: Job, now: float, status: str = "ok") -> None:
+        """One ``queued`` span covering this stay in the queue (a
+        retry re-queue stamps ``requeued_at`` so each stay gets its
+        own span); accumulates the job's total queue wait in
+        ``extra`` for the outcome's ``queue_wait_s``."""
+        if self._lifecycle is None:
+            return
+        trace_id = job.extra.get("trace_id")
+        if trace_id is None:
+            return
+        start = job.extra.get("requeued_at", job.enqueued)
+        job.extra["queue_wait_s"] = (
+            job.extra.get("queue_wait_s", 0.0) + max(0.0, now - start)
+        )
+        self._lifecycle.span(
+            trace_id, "queued", start, now, status=status,
+            seq=job.seq, attempt=job.extra.get("attempts", 0),
+        )
 
     # -- submission ------------------------------------------------------
 
@@ -194,6 +220,7 @@ class JobQueue:
                     self._inflight[tenant], tenant=tenant
                 )
                 self._h_wait.observe(now - job.enqueued)
+            self._record_queued(job, now)
             return job
         return None
 
@@ -253,6 +280,8 @@ class JobQueue:
                 self._g_inflight.set(self._inflight[tenant], tenant=tenant)
                 for job in taken:
                     self._h_wait.observe(now - job.enqueued)
+            for job in taken:
+                self._record_queued(job, now)
         return taken
 
     def task_done(self, tenant: str) -> None:
@@ -283,6 +312,11 @@ class JobQueue:
                     purged += 1
                     if self._metrics is not None:
                         self._c_expired.inc(where="queued")
+                    self._record_queued(job, now, status="expired")
+                    if self._lifecycle is not None:
+                        self._lifecycle.finish(
+                            job.extra.get("trace_id"), "expired", now=now
+                        )
                 else:
                     keep.append(entry)
             heapq.heapify(keep)
@@ -308,10 +342,16 @@ class JobQueue:
         with self._ready:
             self._closed = True
             failed = 0
+            now = time.monotonic()
             for heap in self._heaps.values():
                 for _, _, job in heap:
                     job.fail(ServiceClosed("service shut down before dispatch"))
                     failed += 1
+                    self._record_queued(job, now, status="closed")
+                    if self._lifecycle is not None:
+                        self._lifecycle.finish(
+                            job.extra.get("trace_id"), "closed", now=now
+                        )
                 heap.clear()
             self._depth = 0
             self._rotation.clear()

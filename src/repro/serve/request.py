@@ -251,6 +251,16 @@ class SolveOutcome:
     retries: int = 0
     #: Faults the chaos plan fired across the job's attempts.
     faults_injected: int = 0
+    #: Seconds the job spent queued before dispatch, summed across
+    #: retry re-queues (0.0 for cache hits and direct execution).
+    queue_wait_s: float = 0.0
+    #: Lifecycle trace id of the serving request (None outside the
+    #: service, or with lifecycle tracing disabled).
+    trace_id: str | None = None
+    #: Execution-level :class:`~repro.runtime.trace.Trace`, captured
+    #: only when the service runs with ``trace_requests`` -- stripped
+    #: before the outcome enters the result cache.
+    trace: Any = None
 
     def with_tenant(self, tenant: str) -> "SolveOutcome":
         return replace(self, tenant=tenant)

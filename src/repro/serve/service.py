@@ -28,11 +28,15 @@ single-writer.
 
 from __future__ import annotations
 
+import tempfile
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 
+from ..obs.lifecycle import FlightRecorder, LifecycleTracer
 from ..obs.metrics import MetricRegistry
 from .batch import Batch, BatchCollector
 from .cache import ResultCache
@@ -83,6 +87,19 @@ class ServiceConfig:
     #: directory the chaos checkpoint/fault state lives under (None ->
     #: a per-signature directory beneath the system temp dir)
     checkpoint_dir: object = None
+    #: request-scoped lifecycle tracing: spans, per-tenant SLO
+    #: histograms and the flight recorder.  Always-on by design (the
+    #: bench gates its overhead under 3%); False turns all three off.
+    lifecycle: bool = True
+    #: flight-recorder ring capacity (lifecycle events retained)
+    recorder_events: int = 4096
+    #: directory flight-recorder dumps land in (None ->
+    #: ``<tempdir>/repro-postmortem``)
+    dump_dir: object = None
+    #: capture the execution-level Trace of each request so
+    #: :meth:`SolverService.write_timeline` can export task kernels
+    #: under their lifecycle spans (off by default: traces are big)
+    trace_requests: bool = False
 
 
 class SolverService:
@@ -108,17 +125,27 @@ class SolverService:
         self.config = config
         self.metrics = metrics if metrics is not None else MetricRegistry()
 
+        self.recorder: FlightRecorder | None = None
+        self.lifecycle: LifecycleTracer | None = None
+        if config.lifecycle:
+            self.recorder = FlightRecorder(capacity=config.recorder_events)
+            self.lifecycle = LifecycleTracer(
+                metrics=self.metrics, recorder=self.recorder
+            )
+
         self.queue = JobQueue(
             max_depth=config.queue_depth,
             tenant_limit=config.tenant_limit,
             tenant_limits=config.tenant_limits,
             metrics=self.metrics,
+            lifecycle=self.lifecycle,
         )
         self.collector = BatchCollector(
             self.queue,
             window_s=config.batch_window_s,
             max_batch=config.max_batch,
             metrics=self.metrics,
+            lifecycle=self.lifecycle,
         )
         self.pool = WorkerPool(
             kind=config.pool,
@@ -127,6 +154,7 @@ class SolverService:
             idle_timeout_s=config.idle_timeout_s,
             metrics=self.metrics,
             checkpoint_dir=config.checkpoint_dir,
+            want_trace=config.trace_requests,
         )
         self.cache: ResultCache | None = None
         if config.cache is not False:
@@ -161,6 +189,11 @@ class SolverService:
 
         self._lock = threading.Lock()
         self._running: dict[int, tuple[Job, object]] = {}
+        #: trace_id -> execution-level Trace (bounded; filled only
+        #: under ``trace_requests`` for the combined timeline export)
+        self.timelines: "OrderedDict[str, object]" = OrderedDict()
+        #: flight-recorder dump paths written by this service
+        self.dumps: list[Path] = []
         self._runners: list[threading.Thread] = []
         self._reaper: threading.Thread | None = None
         self._stop = threading.Event()
@@ -236,18 +269,35 @@ class SolverService:
             request = replace(request, **knobs)
         if not self._started:
             raise ServiceClosed("service not started; call start() first")
+        t_admit = time.monotonic()
         signature = request.signature()
         future: Future = Future()
         with self._mlock:
             self._submitted += 1
+            admit_seq = self._submitted
             self._c_submitted.inc(tenant=request.tenant)
+        trace_id = None
+        if self.lifecycle is not None:
+            trace_id = self.lifecycle.begin(
+                signature, admit_seq, tenant=request.tenant, t_admit=t_admit
+            )
         if self.cache is not None:
+            t_probe = time.monotonic()
             hit = self.cache.get(signature)
+            if self.lifecycle is not None:
+                self.lifecycle.span(
+                    trace_id, "cache_probe", t_probe, time.monotonic(),
+                    hit=hit is not None,
+                )
             if hit is not None:
-                future.set_result(hit.with_tenant(request.tenant))
+                future.set_result(replace(
+                    hit.with_tenant(request.tenant), trace_id=trace_id,
+                ))
                 with self._mlock:
                     self._finished += 1
                     self._c_completed.inc(status="cached")
+                if self.lifecycle is not None:
+                    self.lifecycle.finish(trace_id, "cached")
                 return future
         deadline_s = request.deadline_s
         if deadline_s is None:
@@ -263,13 +313,26 @@ class SolverService:
                 else time.monotonic() + deadline_s
             ),
         )
+        if trace_id is not None:
+            job.extra["trace_id"] = trace_id
         try:
             self.queue.submit(job)
-        except ServeError:
+        except ServeError as exc:
             with self._mlock:
                 self._finished += 1
                 self._c_completed.inc(status="rejected")
+            if self.lifecycle is not None:
+                self.lifecycle.span(
+                    trace_id, "admit", t_admit, time.monotonic(),
+                    status="rejected", seq=job.seq, error=repr(exc),
+                )
+                self.lifecycle.finish(trace_id, "rejected")
             raise
+        if self.lifecycle is not None:
+            self.lifecycle.span(
+                trace_id, "admit", t_admit, time.monotonic(),
+                seq=job.seq, deadline_s=deadline_s,
+            )
         return future
 
     # -- execution -------------------------------------------------------
@@ -279,10 +342,20 @@ class SolverService:
             batch = self.collector.take(timeout=0.1)
             if batch is None:
                 continue
+            t_dispatch = time.monotonic()
             worker = self.pool.acquire(timeout=5.0)
             try:
                 if worker is None:
                     raise WorkerDied("no pool worker became available")
+                if self.lifecycle is not None:
+                    now = time.monotonic()
+                    for job in batch.jobs:
+                        trace_id = job.extra.get("trace_id")
+                        if trace_id is not None:
+                            self.lifecycle.span(
+                                trace_id, "dispatch", t_dispatch, now,
+                                worker=worker.name, seq=job.seq,
+                            )
                 self._execute_batch(batch, worker)
             except Exception as exc:  # noqa: BLE001 - fail the batch, keep serving
                 self._fail_batch(batch, exc)
@@ -292,37 +365,64 @@ class SolverService:
                 for job in batch.jobs:
                     self.queue.task_done(job.tenant)
 
+    def _finish_trace(self, job: Job, status: str) -> None:
+        if self.lifecycle is not None:
+            self.lifecycle.finish(job.extra.get("trace_id"), status)
+
+    def _stash_timeline(self, trace_id: str | None, trace) -> None:
+        if trace_id is None or trace is None:
+            return
+        with self._lock:
+            self.timelines[trace_id] = trace
+            while len(self.timelines) > 32:
+                self.timelines.popitem(last=False)
+
     def _execute_batch(self, batch: Batch, worker) -> None:
         groups = batch.groups()
         leaders = [jobs[0] for jobs in groups.values()]
-        items = [(j.seq, j.request, j.deadline) for j in leaders]
+        items = [
+            (j.seq, j.request, j.deadline, j.extra.get("trace_id"))
+            for j in leaders
+        ]
         with self._lock:
             for job in leaders:
                 self._running[job.seq] = (job, worker)
         t0 = time.monotonic()
         try:
-            results, snapshot = worker.run_batch(items)
+            results, snapshot, wspans = worker.run_batch(items)
         finally:
             with self._lock:
                 for job in leaders:
                     self._running.pop(job.seq, None)
         elapsed = time.monotonic() - t0
+        if self.lifecycle is not None and wspans:
+            # Fold the worker's spans in *before* finishing any trace,
+            # so the SLO execute aggregate sees them.
+            self.lifecycle.adopt(wspans)
         statuses: dict[str, int] = {}
         for (status, payload), jobs in zip(results, groups.values()):
             if status == "ok":
                 outcome = payload
+                self._stash_timeline(outcome.trace_id, outcome.trace)
                 if self.cache is not None and outcome.grid is not None:
-                    self.cache.put(outcome.signature, outcome)
+                    self.cache.put(outcome.signature, (
+                        outcome if outcome.trace is None
+                        else replace(outcome, trace=None)
+                    ))
                 for job in jobs:
                     job.complete(replace(
                         outcome.with_tenant(job.tenant),
                         retries=job.extra.get("attempts", 0),
+                        queue_wait_s=job.extra.get("queue_wait_s", 0.0),
+                        trace_id=job.extra.get("trace_id"),
                     ))
+                    self._finish_trace(job, "ok")
                 statuses["ok"] = statuses.get("ok", 0) + len(jobs)
             elif status == "expired":
                 # Deadlines are final: a retry cannot un-expire a job.
                 for job in jobs:
                     job.fail(payload)
+                    self._finish_trace(job, "expired")
                 statuses["expired"] = statuses.get("expired", 0) + len(jobs)
             else:
                 self._retry_or_fail(jobs, payload, statuses)
@@ -350,6 +450,7 @@ class SolverService:
                         f"job {job.seq} deadline passed before its retry"
                     ))
                     statuses["expired"] = statuses.get("expired", 0) + 1
+                    self._finish_trace(job, "expired")
                     continue
                 retry = Job(
                     request=job.request,
@@ -358,28 +459,99 @@ class SolverService:
                     seq=self.queue.next_seq(),
                     enqueued=job.enqueued,
                     deadline=job.deadline,
-                    extra={**job.extra, "attempts": attempts + 1},
+                    extra={
+                        **job.extra,
+                        "attempts": attempts + 1,
+                        "requeued_at": now,
+                    },
                 )
                 try:
                     self.queue.submit(retry)
                 except ServeError as submit_exc:
                     job.fail(submit_exc)
                     statuses["error"] = statuses.get("error", 0) + 1
+                    self._finish_trace(job, "error")
                     continue
+                if self.lifecycle is not None:
+                    trace_id = job.extra.get("trace_id")
+                    if trace_id is not None:
+                        self.lifecycle.span(
+                            trace_id, "retry", now, now,
+                            attempt=attempts + 1,
+                            error=repr(exc)[:200],
+                        )
                 statuses["retried"] = statuses.get("retried", 0) + 1
             return
         err = (exc if isinstance(exc, ServeError)
                else WorkerDied(f"batch execution failed: {exc}"))
+        # Finish the traces (their terminal spans land in the flight
+        # recorder) and write the dump *before* failing any future: a
+        # client woken by its failure must already see the dump in
+        # stats()["postmortems"].
+        trace_ids = []
+        terminal = []
         for pos, job in enumerate(jobs):
+            tid = job.extra.get("trace_id")
+            if tid is not None:
+                trace_ids.append(tid)
             if pos == 0 or budget == 0:
-                job.fail(err)
-                statuses["error"] = statuses.get("error", 0) + 1
+                terminal.append((job, err, "error"))
             else:
-                job.fail(JobSkipped(
+                terminal.append((job, JobSkipped(
                     f"job {job.seq} skipped: the leading attempt of this "
                     f"solve failed after {attempts + 1} attempt(s)"
-                ))
-                statuses["skipped"] = statuses.get("skipped", 0) + 1
+                ), "skipped"))
+            self._finish_trace(job, terminal[-1][2])
+        self._dump_failure(err, trace_ids, attempts, budget)
+        for job, job_err, status in terminal:
+            job.fail(job_err)
+            statuses[status] = statuses.get(status, 0) + 1
+
+    def _dump_reason(self, exc: Exception, attempts: int,
+                     budget: int) -> str:
+        if budget > 0 and attempts >= budget:
+            return "retry-budget-exhausted"
+        causes = [exc, getattr(exc, "__cause__", None)]
+        try:
+            from ..runtime.engine import NodeLostError
+        except Exception:  # pragma: no cover - engine always importable
+            NodeLostError = ()
+        try:
+            from ..ir.core import PassError
+        except Exception:  # pragma: no cover - ir always importable
+            PassError = ()
+        for c in causes:
+            if c is None:
+                continue
+            if NodeLostError and isinstance(c, NodeLostError):
+                return "node-lost"
+            if PassError and isinstance(c, PassError):
+                return "pass-error"
+            if isinstance(c, WorkerDied):
+                return "worker-died"
+        return "failure"
+
+    def _dump_failure(self, exc: Exception, trace_ids, attempts: int,
+                      budget: int) -> None:
+        """Terminal failure: flush the flight recorder to disk so the
+        post-mortem survives the service (and the process)."""
+        if self.recorder is None:
+            return
+        dump_dir = self.config.dump_dir
+        if dump_dir is None:
+            dump_dir = Path(tempfile.gettempdir()) / "repro-postmortem"
+        try:
+            path = self.recorder.dump(
+                Path(dump_dir),
+                reason=self._dump_reason(exc, attempts, budget),
+                error=repr(exc),
+                trace_ids=tuple(trace_ids),
+                extra={"attempts": attempts, "retry_budget": budget},
+            )
+        except OSError:  # pragma: no cover - dump dir unwritable
+            return
+        with self._lock:
+            self.dumps.append(path)
 
     def _account(self, statuses: dict[str, int], snapshot=None,
                  elapsed: float | None = None) -> None:
@@ -417,6 +589,7 @@ class SolverService:
                     f"job {job.seq} deadline passed; its worker was reclaimed"
                 ))
                 statuses["expired"] = statuses.get("expired", 0) + 1
+                self._finish_trace(job, "expired")
             else:
                 groups.setdefault(job.signature, []).append(job)
         for jobs in groups.values():
@@ -462,13 +635,48 @@ class SolverService:
     def stats(self) -> dict:
         with self._mlock:
             done, total = self._finished, self._submitted
-        return {
+        out = {
             "submitted": total,
             "finished": done,
             "queue": self.queue.stats(),
             "pool": self.pool.stats(),
             "cache_entries": len(self.cache) if self.cache is not None else 0,
         }
+        if self.lifecycle is not None:
+            with self._lock:
+                dumps = [str(p) for p in self.dumps]
+            out["traces"] = len(self.lifecycle)
+            out["recorder_events"] = (
+                len(self.recorder) if self.recorder is not None else 0
+            )
+            out["postmortems"] = dumps
+        return out
+
+    def write_timeline(
+        self,
+        chrome: object = None,
+        otel: object = None,
+        service_name: str = "repro-serve",
+    ) -> dict:
+        """Export every retained lifecycle span -- and, under
+        ``trace_requests``, the task kernels of each traced solve
+        parented beneath its ``execute`` span -- as Chrome
+        ``chrome://tracing`` JSON and/or an OTel OTLP document.
+        Returns ``{format: path}`` for whatever was written."""
+        if self.lifecycle is None:
+            raise ServeError(
+                "lifecycle tracing is disabled (ServiceConfig.lifecycle)"
+            )
+        from ..obs.lifecycle import write_timeline as _write
+        with self._lock:
+            exec_traces = dict(self.timelines)
+        return _write(
+            self.lifecycle.all_spans(),
+            exec_traces,
+            chrome_path=chrome,
+            otel_path=otel,
+            service_name=service_name,
+        )
 
 
 __all__ = ["ServiceConfig", "SolverService"]

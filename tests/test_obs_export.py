@@ -119,3 +119,22 @@ def test_debug_flag_gating(monkeypatch):
     assert not trace_validation_enabled()
     monkeypatch.setenv(DEBUG_TRACE_ENV, "1")
     assert trace_validation_enabled()
+
+
+def test_otel_explicit_trace_id_and_parent_span_id():
+    tid = "ab" * 16
+    parent = "cd" * 8
+    doc = to_otel(_trace(), service_name="repro-test",
+                  trace_id=tid, parent_span_id=parent)
+    spans = doc["resourceSpans"][0]["scopeSpans"][0]["spans"]
+    assert {s["traceId"] for s in spans} == {tid}
+    assert {s["parentSpanId"] for s in spans} == {parent}
+    # span ids stay deterministic under the injected trace id
+    again = to_otel(_trace(), service_name="repro-test",
+                    trace_id=tid, parent_span_id=parent)
+    assert again == doc
+    # and differ from the derived-trace-id document's ids
+    derived = to_otel(_trace(), service_name="repro-test")
+    dspans = derived["resourceSpans"][0]["scopeSpans"][0]["spans"]
+    assert {s["spanId"] for s in dspans} != {s["spanId"] for s in spans}
+    assert all("parentSpanId" not in s for s in dspans)

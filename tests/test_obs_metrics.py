@@ -191,3 +191,52 @@ def test_result_metrics_none_when_uninstrumented():
     result = run(PROBLEM, impl="base-parsec", machine=MACHINE, tile=TILE,
                  pgrid=PGRID)
     assert result.metrics is None
+
+
+# -- quantiles (the SLO report's estimator) ------------------------------
+
+
+def test_histogram_quantile_interpolation_and_clamping():
+    from repro.obs.metrics import bucket_quantile
+
+    reg = MetricRegistry()
+    h = reg.histogram("latency_seconds", buckets=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+        h.observe(v)
+    cell = h.labels()
+    # extremes clamp to the observed min/max, not the bucket bounds
+    assert cell.quantile(0.0) == 0.05
+    assert cell.quantile(1.0) == 50.0
+    # the median lands in the (0.1, 1.0] bucket
+    assert 0.1 < cell.quantile(0.5) <= 1.0
+    # aggregate quantile across labelled cells matches the direct call
+    assert h.quantile(0.5) == cell.quantile(0.5)
+    with pytest.raises(ValueError):
+        cell.quantile(1.5)
+    # empty state has no quantiles
+    assert bucket_quantile((1.0,), [0, 0], 0, None, None, 0.5) is None
+
+
+def test_merge_histogram_states_folds_and_rejects_mismatch():
+    from repro.obs.metrics import (
+        merge_histogram_states,
+        quantile_from_state,
+    )
+
+    reg = MetricRegistry()
+    h = reg.histogram("latency_seconds", buckets=(0.1, 1.0))
+    h.observe(0.05, tenant="a")
+    h.observe(0.5, tenant="b")
+    h.observe(0.7, tenant="b")
+    snap = reg.snapshot()
+    states = snap.data["latency_seconds"]["values"].values()
+    merged = merge_histogram_states(states)
+    assert merged["count"] == 3
+    assert merged["min"] == 0.05 and merged["max"] == 0.7
+    assert merged["sum"] == pytest.approx(1.25)
+    assert 0.1 < quantile_from_state(merged, 0.5) <= 0.7
+    assert merge_histogram_states([]) is None
+    other = {"bounds": [9.9], "buckets": [0, 0], "count": 0,
+             "sum": 0.0, "min": None, "max": None}
+    with pytest.raises(ValueError):
+        merge_histogram_states([merged, other])

@@ -117,8 +117,9 @@ def test_inprocess_worker_batch_with_pre_expired_item():
         (0, fresh, None),
         (1, _request(random_problem(24, 2, seed=4)), time.monotonic() - 1.0),
     ]
-    results, snapshot = worker.run_batch(items)
+    results, snapshot, spans = worker.run_batch(items)
     (status_a, outcome), (status_b, error) = results
+    assert spans == []  # untraced items produce no lifecycle spans
     assert status_a == "ok" and outcome.grid is not None
     assert status_b == "expired" and isinstance(error, DeadlineExpired)
     assert snapshot.counter("tasks_executed_total") > 0
@@ -130,7 +131,9 @@ def test_process_worker_solves_and_dies_on_cancel():
     worker = ProcessWorker("w")
     try:
         problem = random_problem(24, 2, seed=5)
-        results, snapshot = worker.run_batch([(0, _request(problem), None)])
+        results, snapshot, _spans = worker.run_batch(
+            [(0, _request(problem), None)]
+        )
         status, outcome = results[0]
         assert status == "ok"
         direct = run(problem, impl="ca-parsec", machine=nacl(4), tile=6,
