@@ -168,14 +168,20 @@ def test_cache_hit_executes_zero_tasks(tmp_path, show):
     })
 
 
-def _stream_seconds(lifecycle: bool, reps: int = 3) -> float:
+def _stream_seconds(lifecycle: bool, reps: int = 3,
+                    sampling: float | None = None) -> float:
     """Best-of-``reps`` wall time for the full request stream through
     a cache-less service (every request executes, so the lifecycle
     span path is exercised end to end on each one)."""
+    from repro.obs.alerts import default_rules
+
     best = float("inf")
     for _ in range(reps):
         config = ServiceConfig(workers=2, cache=False, tenant_limit=None,
-                               lifecycle=lifecycle)
+                               lifecycle=lifecycle,
+                               sampling_interval_s=sampling,
+                               alert_rules=(default_rules()
+                                            if sampling is not None else None))
         with SolverService(config) as service:
             client = SolverClient(service, tenant="bench")
             t0 = time.perf_counter()
@@ -215,6 +221,36 @@ def test_lifecycle_tracing_overhead(show):
         "requests": REQUESTS,
         "detached_seconds": round(detached_s, 4),
         "traced_seconds": round(traced_s, 4),
+        "overhead_pct": round(100 * overhead, 2),
+    })
+
+
+def test_sampling_overhead(show):
+    """The telemetry sampler + alert engine (20 Hz snapshots, default
+    rules evaluated on every sample) must cost <3% against the same
+    service with sampling disabled -- and ``sampling_interval_s=None``
+    must build nothing at all, so the idle path pays nothing."""
+    plain_s = _stream_seconds(lifecycle=True, sampling=None)
+    sampled_s = _stream_seconds(lifecycle=True, sampling=0.05)
+    overhead = sampled_s / plain_s - 1.0
+    show(
+        f"telemetry sampling overhead ({REQUESTS} executed requests, "
+        f"best of 3, 50 ms interval + default alert rules):",
+        f"  sampling off : {plain_s:.3f} s",
+        f"  sampling on  : {sampled_s:.3f} s",
+        f"  overhead     : {100 * overhead:+.2f}%  (budget +3%)",
+    )
+    # Same gate shape as the lifecycle tracer: 3% relative plus a 30 ms
+    # absolute floor against sub-second scheduling jitter.
+    assert sampled_s <= plain_s * 1.03 + 0.03, (
+        f"telemetry sampling costs {100 * overhead:.1f}% "
+        f"({plain_s:.3f}s -> {sampled_s:.3f}s); the budget is 3%"
+    )
+    _emit("sampling_overhead", {
+        "requests": REQUESTS,
+        "interval_s": 0.05,
+        "plain_seconds": round(plain_s, 4),
+        "sampled_seconds": round(sampled_s, 4),
         "overhead_pct": round(100 * overhead, 2),
     })
 

@@ -227,6 +227,16 @@ def _publish_chaos_metrics(metrics, chaos_result: ChaosResult) -> None:
         metrics.counter(
             "chaos_recoveries_total", help="checkpoint restarts performed"
         ).inc(len(chaos_result.restarts))
+        c_lost = metrics.counter(
+            "chaos_nodes_lost_total",
+            help="node deaths that triggered a restart",
+        )
+        lost: dict[str, int] = {}
+        for restart in chaos_result.restarts:
+            node = str(restart.get("node", "?"))
+            lost[node] = lost.get(node, 0) + 1
+        for node, count in sorted(lost.items()):
+            c_lost.inc(count, node=node)
     if chaos_result.speculations:
         metrics.counter(
             "chaos_speculations_total",
@@ -497,6 +507,14 @@ def execute_with_resume(
             metrics.counter(
                 "chaos_recoveries_total", help="checkpoint restarts performed"
             ).inc()
+            # A resume implies the previous attempt died mid-run; the
+            # node-lost alert rule can watch this from the merged
+            # registry even when the failing attempt's error swallowed
+            # its own metrics.
+            metrics.counter(
+                "chaos_nodes_lost_total",
+                help="node deaths that triggered a restart",
+            ).inc(node="resumed")
     return outcome
 
 

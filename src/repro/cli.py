@@ -400,6 +400,80 @@ def _add_slo_parser(sub: argparse._SubParsersAction) -> None:
                         "(default: <tempdir>/repro-postmortem)")
 
 
+def _add_alerts_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "alerts",
+        help="evaluate alert rules against a live canned-traffic "
+             "service, or replay them over a recorded series file "
+             "(deterministic: same file, byte-identical transitions)",
+    )
+    _add_serve_request_flags(p)
+    p.add_argument("--rules", default=None, metavar="FILE.json",
+                   help="alert rules file (default: the built-in "
+                        "serving rules; see examples/alert_rules.json)")
+    p.add_argument("--series", default=None, metavar="FILE.jsonl",
+                   help="replay a recorded series export instead of "
+                        "running live traffic")
+    p.add_argument("--log-out", default=None, metavar="FILE.jsonl",
+                   help="append alert transitions as JSONL (the sink "
+                        "CI greps and byte-compares)")
+    p.add_argument("--series-out", default=None, metavar="FILE.jsonl",
+                   help="live mode: export the sampled series for "
+                        "later replay")
+    p.add_argument("--tenants", type=int, default=2,
+                   help="synthetic tenants submitting traffic")
+    p.add_argument("--requests", type=int, default=4,
+                   help="requests per tenant")
+    p.add_argument("--workers", type=int, default=2,
+                   help="concurrent batches in flight (pool capacity)")
+    p.add_argument("--sample-interval", type=float, default=0.2,
+                   help="telemetry sampling interval in seconds")
+    p.add_argument("--fault", default=None, metavar="PLAN",
+                   help="also submit one zero-retry request under this "
+                        "chaos plan (e.g. 'kill:node=1,step=1'): the "
+                        "node-lost and burn-rate rules should fire, "
+                        "then resolve once the windows slide past")
+    p.add_argument("--settle", type=float, default=12.0,
+                   help="seconds to keep sampling after traffic so "
+                        "firing alerts can resolve")
+    p.add_argument("--dump-dir", default=None, metavar="DIR",
+                   help="directory alert-triggered flight-recorder "
+                        "dumps land in (default: "
+                        "<tempdir>/repro-postmortem)")
+
+
+def _add_top_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a serving run: queue depth, "
+             "busy share, rates, per-tenant p95 sparklines, active "
+             "alerts (or one frame of a recorded series)",
+    )
+    _add_serve_request_flags(p)
+    p.add_argument("--series", default=None, metavar="FILE.jsonl",
+                   help="render a recorded series export instead of "
+                        "driving live traffic")
+    p.add_argument("--rules", default=None, metavar="FILE.json",
+                   help="alert rules for the active-alert table "
+                        "(default: the built-in serving rules)")
+    p.add_argument("--no-alerts", action="store_true",
+                   help="skip alert evaluation entirely")
+    p.add_argument("--once", action="store_true",
+                   help="render a single frame and exit")
+    p.add_argument("--window", type=float, default=10.0,
+                   help="trailing window for rates and percentiles")
+    p.add_argument("--refresh", type=float, default=0.5,
+                   help="seconds between rendered frames")
+    p.add_argument("--sample-interval", type=float, default=0.2,
+                   help="telemetry sampling interval in seconds")
+    p.add_argument("--tenants", type=int, default=2,
+                   help="synthetic tenants submitting traffic")
+    p.add_argument("--requests", type=int, default=4,
+                   help="requests per tenant")
+    p.add_argument("--workers", type=int, default=2,
+                   help="concurrent batches in flight (pool capacity)")
+
+
 def _add_postmortem_parser(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser(
         "postmortem",
@@ -524,6 +598,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_serve_parser(sub)
     _add_submit_parser(sub)
     _add_slo_parser(sub)
+    _add_alerts_parser(sub)
+    _add_top_parser(sub)
     _add_postmortem_parser(sub)
     _add_chaos_parser(sub)
     _add_validate_parser(sub)
@@ -1173,6 +1249,160 @@ def _cmd_slo(args: argparse.Namespace) -> int:
     return 0 if tally["failed"] == 0 else 1
 
 
+def _alert_rules_from(args: argparse.Namespace) -> list:
+    from .obs.alerts import default_rules, load_rules
+
+    return load_rules(args.rules) if args.rules else default_rules()
+
+
+def _cmd_alerts(args: argparse.Namespace) -> int:
+    """``repro alerts``: replay a rules file over a recorded series
+    (``--series``), or run canned traffic through a sampled service
+    and report every alert transition; ``--fault`` injects a chaos
+    kill so the node-lost and burn-rate rules fire and resolve."""
+    from .obs.alerts import JsonlSink, format_transition, replay_rules
+
+    rules = _alert_rules_from(args)
+    if args.series:
+        sinks = [JsonlSink(args.log_out)] if args.log_out else []
+        transitions = replay_rules(rules, args.series, sinks=sinks)
+        for event in transitions:
+            print(format_transition(event))
+        firing = sum(1 for e in transitions if e["to"] == "firing")
+        resolved = sum(1 for e in transitions if e["to"] == "resolved")
+        print(f"replayed {args.series}: {len(transitions)} transitions "
+              f"({firing} firing, {resolved} resolved)")
+        return 0
+
+    import tempfile
+    import time as _time
+
+    from .serve import ServeError, ServiceConfig, SolveRequest, SolverService
+
+    problems = [
+        JacobiProblem(n=args.n, iterations=args.iterations + k)
+        for k in range(2)
+    ]
+    knobs = _serve_knobs(args)
+    with tempfile.TemporaryDirectory(prefix="repro-alerts-") as tmp:
+        # Private checkpoint dir per invocation, same reason as `slo
+        # --fault`: stale fault state would turn the kill into a no-op.
+        config = ServiceConfig(
+            workers=args.workers, jobs=args.jobs, cache=tmp,
+            dump_dir=args.dump_dir, checkpoint_dir=f"{tmp}/chaos",
+            sampling_interval_s=args.sample_interval,
+            alert_rules=rules, alert_log=args.log_out,
+        )
+        with SolverService(config) as service:
+            tally = _serve_traffic(
+                service, args.tenants, args.requests, problems, knobs
+            )
+            if args.fault:
+                request = SolveRequest(
+                    problem=JacobiProblem(
+                        n=args.n, iterations=args.iterations + 17,
+                    ),
+                    tenant="chaos", chaos_plan=args.fault, retries=0,
+                    **{k: v for k, v in knobs.items() if k != "passes"},
+                )
+                try:
+                    service.submit(request).result(timeout=300)
+                except ServeError as exc:
+                    print(f"forced fault failed the request as "
+                          f"intended: {exc!r}")
+            # Let firing alerts resolve: the sampler keeps evaluating
+            # until every rule's window slides past the incident.
+            deadline = _time.monotonic() + args.settle
+            while _time.monotonic() < deadline:
+                engine = service.alerts
+                if engine is not None and engine.transitions and \
+                        not engine.active():
+                    break
+                _time.sleep(args.sample_interval)
+            engine = service.alerts
+            series = service.series
+    if args.series_out and series is not None:
+        print(f"series written to {series.to_jsonl(args.series_out)}")
+    for event in engine.transitions:
+        print(format_transition(event))
+    for dump in engine.dumps:
+        print(f"alert postmortem: {dump}")
+    firing = sum(1 for e in engine.transitions if e["to"] == "firing")
+    resolved = sum(1 for e in engine.transitions if e["to"] == "resolved")
+    print(f"outcomes: {tally['ok']} solved, {tally['cached']} cached, "
+          f"{tally['rejected']} rejected, {tally['failed']} failed")
+    print(f"alerts: {firing} fired, {resolved} resolved")
+    if args.fault and firing == 0:
+        print("forced fault fired no alert", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """``repro top``: the live dashboard.  With ``--series`` it
+    renders one frame of a recorded export (alert table reflects the
+    series' end state); live, it drives canned traffic in a background
+    thread and refreshes until the traffic drains."""
+    from .obs.monitor import format_top
+
+    rules = None if args.no_alerts else _alert_rules_from(args)
+    if args.series:
+        from .obs.alerts import AlertEngine
+        from .obs.timeseries import TimeSeriesStore, read_series_jsonl
+
+        header, samples = read_series_jsonl(args.series)
+        store = TimeSeriesStore(capacity=int(header.get("capacity", 512)))
+        engine = AlertEngine(store, rules) if rules else None
+        for t, wall, data in samples:
+            store.ingest(data, t=t, wall=wall)
+            if engine is not None:
+                engine.evaluate(t)
+        print(format_top(store, alerts=engine, window_s=args.window))
+        return 0
+
+    import tempfile
+    import threading
+    import time as _time
+
+    from .serve import ServiceConfig, SolverService
+
+    problems = [
+        JacobiProblem(n=args.n, iterations=args.iterations + k)
+        for k in range(2)
+    ]
+    knobs = _serve_knobs(args)
+    with tempfile.TemporaryDirectory(prefix="repro-top-") as tmp:
+        config = ServiceConfig(
+            workers=args.workers, jobs=args.jobs, cache=tmp,
+            sampling_interval_s=args.sample_interval, alert_rules=rules,
+        )
+        with SolverService(config) as service:
+            done = threading.Event()
+
+            def drive() -> None:
+                try:
+                    _serve_traffic(service, args.tenants, args.requests,
+                                   problems, knobs)
+                finally:
+                    done.set()
+
+            thread = threading.Thread(target=drive, daemon=True)
+            thread.start()
+            if not args.once:
+                while not done.wait(args.refresh):
+                    frame = format_top(service.series, alerts=service.alerts,
+                                       window_s=args.window)
+                    if sys.stdout.isatty():
+                        print("\x1b[2J\x1b[H" + frame, flush=True)
+                    else:
+                        print(frame + "\n", flush=True)
+            thread.join()
+            service.sample_now()  # final frame sees the drained queue
+            print(format_top(service.series, alerts=service.alerts,
+                             window_s=args.window))
+    return 0
+
+
 def _cmd_postmortem(args: argparse.Namespace) -> int:
     from .obs.lifecycle import format_postmortem, load_postmortem
 
@@ -1387,6 +1617,8 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "slo": _cmd_slo,
+        "alerts": _cmd_alerts,
+        "top": _cmd_top,
         "postmortem": _cmd_postmortem,
         "chaos": _cmd_chaos,
         "validate": _cmd_validate,

@@ -18,18 +18,35 @@ execution layer:
 * :mod:`repro.obs.lifecycle` -- request-scoped lifecycle spans, the
   flight recorder and the combined service/execution timeline export;
 * :mod:`repro.obs.slo` -- per-tenant latency percentiles and
-  error-budget burn (the ``repro slo`` report).
+  error-budget burn (the ``repro slo`` report);
+* :mod:`repro.obs.timeseries` -- bounded metric history sampled from
+  a live registry, with derived signals (rates, windowed quantiles,
+  EWMA, MAD z-scores) and a replayable JSONL export;
+* :mod:`repro.obs.alerts` -- declarative threshold / multi-window
+  burn-rate / anomaly rules over the time-series store, with a
+  pending -> firing -> resolved lifecycle and flight-recorder dumps
+  on firing (the ``repro alerts`` / ``repro top`` CLI).
 """
 
 from __future__ import annotations
 
 import os
 
+from .alerts import (
+    AlertEngine,
+    AlertRule,
+    JsonlSink,
+    default_rules,
+    load_rules,
+    parse_rules,
+    replay_rules,
+)
 from .critpath import (
     CritPathReport,
     critical_path,
     find_stragglers,
     publish_critpath_metrics,
+    robust_scores,
 )
 from .diff import TraceDiff, diff_results, diff_traces
 from .lifecycle import (
@@ -50,6 +67,7 @@ from .monitor import (
     RunMonitor,
     format_serve_summary,
     format_summary,
+    format_top,
     monitored_run,
 )
 from .regress import (
@@ -59,6 +77,7 @@ from .regress import (
     metrics_from_serve,
 )
 from .slo import format_slo_report, slo_gate_metrics, slo_report
+from .timeseries import TelemetrySampler, TimeSeriesStore, read_series_jsonl
 
 #: Environment variable enabling the debug-mode trace validation the
 #: engine and both real backends run after a traced run.
@@ -73,21 +92,27 @@ def trace_validation_enabled() -> bool:
 
 
 __all__ = [
+    "AlertEngine",
+    "AlertRule",
     "Counter",
     "CritPathReport",
     "DEBUG_TRACE_ENV",
     "FlightRecorder",
     "Gauge",
     "Histogram",
+    "JsonlSink",
     "LifeSpan",
     "LifecycleTracer",
     "MetricRegistry",
     "MetricsSnapshot",
     "RegressReport",
     "RunMonitor",
+    "TelemetrySampler",
+    "TimeSeriesStore",
     "TraceDiff",
     "compare",
     "critical_path",
+    "default_rules",
     "diff_results",
     "diff_traces",
     "find_stragglers",
@@ -95,11 +120,17 @@ __all__ = [
     "format_serve_summary",
     "format_slo_report",
     "format_summary",
+    "format_top",
     "load_baseline",
     "load_postmortem",
+    "load_rules",
     "metrics_from_serve",
     "monitored_run",
+    "parse_rules",
     "publish_critpath_metrics",
+    "read_series_jsonl",
+    "replay_rules",
+    "robust_scores",
     "slo_gate_metrics",
     "slo_report",
     "trace_validation_enabled",

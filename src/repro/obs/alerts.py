@@ -1,0 +1,489 @@
+"""Declarative alert rules evaluated over a :class:`TimeSeriesStore`.
+
+Three rule kinds cover the operational questions a serving stack asks:
+
+* ``threshold`` -- compare one derived signal (``latest`` / ``rate`` /
+  ``increase`` / ``ewma`` / ``quantile``) of one metric against a
+  constant;
+* ``burn_rate`` -- the SRE multi-window error-budget burn over the
+  per-tenant ``slo_requests_total`` counter PR 9's lifecycle tracer
+  maintains: the alert fires only when **every** configured window's
+  burn exceeds its factor (the long window proves the budget is really
+  being consumed, the short window proves it still is);
+* ``anomaly`` -- MAD z-score of the latest point against the series'
+  history (:meth:`TimeSeriesStore.mad_z`), the same robust statistic
+  straggler detection uses.
+
+Lifecycle per rule: ``inactive -> pending -> firing -> resolved``
+(resolved is a transition, not a resting state -- the rule returns to
+inactive and may fire again).  ``for_s`` is the holdoff: the condition
+must hold that long, measured on the **store's clock** (the sampler's
+monotonic timestamps), before pending escalates to firing.  Evaluation
+is therefore deterministic: replaying a recorded series JSONL through
+:func:`replay_rules` produces byte-identical transition logs.
+
+Entering ``firing`` triggers ``FlightRecorder.dump()`` when the engine
+holds a recorder -- the alert that paged you links straight into the
+``repro postmortem`` pipeline with the flight-recorder ring as it was
+the moment the alert fired.
+
+Sinks are plain callables taking one transition dict; ship a line to
+stderr (:func:`stderr_sink`), append JSONL (:class:`JsonlSink`), or
+anything else.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping
+
+from .lifecycle import ERROR_STATUSES, FlightRecorder
+from .timeseries import TimeSeriesStore, read_series_jsonl
+
+__all__ = [
+    "AlertEngine",
+    "AlertRule",
+    "JsonlSink",
+    "default_rules",
+    "format_transition",
+    "load_rules",
+    "parse_rules",
+    "replay_rules",
+    "stderr_sink",
+]
+
+RULE_KINDS = ("threshold", "burn_rate", "anomaly")
+SIGNALS = ("latest", "rate", "increase", "ewma", "quantile")
+OPS: dict[str, Callable[[float, float], bool]] = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative rule (see the module docstring for kinds)."""
+
+    name: str
+    kind: str = "threshold"
+    #: metric the rule watches; burn_rate defaults to
+    #: ``slo_requests_total`` when left empty
+    metric: str = ""
+    #: label filter as a sorted tuple of (key, value) pairs
+    labels: tuple = ()
+    #: derived signal a threshold rule compares (ignored by the others)
+    signal: str = "latest"
+    op: str = ">"
+    threshold: float = 0.0
+    #: quantile for ``signal="quantile"``
+    q: float = 0.95
+    #: trailing window for rate/increase/quantile (ewma's tau)
+    window_s: float = 30.0
+    #: holdoff: the condition must hold this long before firing
+    for_s: float = 0.0
+    #: SLO objective a burn_rate rule measures against
+    objective: float = 0.99
+    #: ((window_s, burn_factor), ...) -- ALL must breach to fire
+    windows: tuple = ((60.0, 14.4), (5.0, 14.4))
+    #: burn_rate only: restrict to one tenant (None = every tenant)
+    tenant: str | None = None
+    severity: str = "page"
+
+
+def _rule_error(name: str, message: str) -> ValueError:
+    return ValueError(f"alert rule {name!r}: {message}")
+
+
+def parse_rule(doc: Mapping[str, Any]) -> AlertRule:
+    """Validate one rule document (a JSON object) into an
+    :class:`AlertRule`."""
+    name = str(doc.get("name", "")).strip()
+    if not name:
+        raise ValueError(f"alert rule needs a name: {dict(doc)!r}")
+    kind = doc.get("kind", "threshold")
+    if kind not in RULE_KINDS:
+        raise _rule_error(name, f"unknown kind {kind!r} (one of {RULE_KINDS})")
+    signal = doc.get("signal", "latest")
+    if signal not in SIGNALS:
+        raise _rule_error(
+            name, f"unknown signal {signal!r} (one of {SIGNALS})"
+        )
+    op = doc.get("op", ">")
+    if op not in OPS:
+        raise _rule_error(name, f"unknown op {op!r} (one of {sorted(OPS)})")
+    metric = str(doc.get("metric", ""))
+    if kind != "burn_rate" and not metric:
+        raise _rule_error(name, f"a {kind} rule needs a metric")
+    objective = float(doc.get("objective", 0.99))
+    if not 0.0 < objective < 1.0:
+        raise _rule_error(name, f"objective must be in (0, 1), got {objective}")
+    windows = doc.get("windows")
+    if windows is None:
+        windows = AlertRule.windows
+    else:
+        windows = tuple(
+            (float(w), float(factor)) for w, factor in windows
+        )
+        if not windows or any(w <= 0 for w, _ in windows):
+            raise _rule_error(name, f"bad burn windows {windows!r}")
+    for_s = float(doc.get("for_s", 0.0))
+    if for_s < 0:
+        raise _rule_error(name, f"for_s must be >= 0, got {for_s}")
+    window_s = float(doc.get("window_s", AlertRule.window_s))
+    if window_s <= 0:
+        raise _rule_error(name, f"window_s must be positive, got {window_s}")
+    threshold = float(doc.get(
+        "threshold", 3.5 if kind == "anomaly" else 0.0
+    ))
+    labels = tuple(sorted(
+        (str(k), str(v)) for k, v in dict(doc.get("labels", {})).items()
+    ))
+    tenant = doc.get("tenant")
+    return AlertRule(
+        name=name,
+        kind=kind,
+        metric=metric,
+        labels=labels,
+        signal=signal,
+        op=op,
+        threshold=threshold,
+        q=float(doc.get("q", 0.95)),
+        window_s=window_s,
+        for_s=for_s,
+        objective=objective,
+        windows=windows,
+        tenant=None if tenant is None else str(tenant),
+        severity=str(doc.get("severity", "page")),
+    )
+
+
+def parse_rules(doc: Any) -> list[AlertRule]:
+    """Rules from a parsed JSON document: a list of rule objects or
+    ``{"rules": [...]}``.  Pre-built :class:`AlertRule` instances pass
+    through, so ``ServiceConfig.alert_rules`` takes either form."""
+    if isinstance(doc, Mapping):
+        doc = doc.get("rules", [])
+    rules: list[AlertRule] = []
+    names: set[str] = set()
+    for item in doc:
+        rule = item if isinstance(item, AlertRule) else parse_rule(item)
+        if rule.name in names:
+            raise ValueError(f"duplicate alert rule name {rule.name!r}")
+        names.add(rule.name)
+        rules.append(rule)
+    return rules
+
+
+def load_rules(path: str | Path) -> list[AlertRule]:
+    """Rules from a JSON file (``examples/alert_rules.json`` shape)."""
+    return parse_rules(json.loads(Path(path).read_text()))
+
+
+def default_rules() -> list[AlertRule]:
+    """The built-in serving rules ``repro alerts`` / ``repro top``
+    fall back to: multi-window SLO burn, node-lost, queue-pressure
+    anomaly.  Windows are seconds-scale to match canned CLI traffic;
+    production deployments load their own file."""
+    return [
+        AlertRule(
+            name="slo-burn", kind="burn_rate", objective=0.99,
+            windows=((10.0, 2.0), (2.0, 2.0)), severity="page",
+        ),
+        AlertRule(
+            name="node-lost", kind="threshold",
+            metric="serve_node_lost_total", signal="increase",
+            window_s=5.0, op=">", threshold=0.0, severity="page",
+        ),
+        AlertRule(
+            name="queue-pressure", kind="anomaly",
+            metric="serve_queue_depth", threshold=3.5, for_s=1.0,
+            severity="ticket",
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# sinks
+# ---------------------------------------------------------------------------
+
+
+def format_transition(event: Mapping[str, Any]) -> str:
+    """One human line per transition (the stderr sink's shape)."""
+    value = event.get("value")
+    shown = "-" if value is None else f"{value:.6g}"
+    return (
+        f"ALERT {event['rule']} [{event.get('severity', '?')}] "
+        f"{event['from']} -> {event['to']}  t={event['t']:.3f}  "
+        f"value={shown}"
+    )
+
+
+def stderr_sink(event: Mapping[str, Any]) -> None:
+    print(format_transition(event), file=sys.stderr, flush=True)
+
+
+class JsonlSink:
+    """Append one sorted-keys JSON line per transition -- the sink CI
+    greps and the deterministic-replay gate byte-compares."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._fh = None
+
+    def __call__(self, event: Mapping[str, Any]) -> None:
+        with self._lock:
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._fh = self.path.open("a")
+            self._fh.write(json.dumps(dict(event), sort_keys=True) + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+
+
+def _slug(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]+", "-", name).strip("-") or "rule"
+
+
+@dataclass
+class _RuleState:
+    state: str = "inactive"
+    since: float | None = None  # pending start (holdoff anchor)
+    value: float | None = None
+
+
+class AlertEngine:
+    """Evaluate rules against a store; emit transitions to sinks.
+
+    ``evaluate(now)`` is idempotent per sample time and safe from any
+    thread (one lock).  ``now`` defaults to the store's latest sample
+    time -- never the wall clock -- so a replayed series produces the
+    same transitions at the same times, byte for byte.
+    """
+
+    def __init__(
+        self,
+        store: TimeSeriesStore,
+        rules: Iterable[AlertRule],
+        sinks: Iterable[Callable[[dict], None]] = (),
+        recorder: FlightRecorder | None = None,
+        dump_dir: str | Path | None = None,
+        on_dump: Callable[[Path], None] | None = None,
+    ) -> None:
+        self.store = store
+        self.rules = tuple(
+            r if isinstance(r, AlertRule) else parse_rule(r) for r in rules
+        )
+        names = [r.name for r in self.rules]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate alert rule names")
+        self.sinks = list(sinks)
+        self.recorder = recorder
+        self.dump_dir = None if dump_dir is None else Path(dump_dir)
+        self.on_dump = on_dump
+        #: every transition emitted, in order
+        self.transitions: list[dict] = []
+        #: flight-recorder dumps triggered by firing alerts
+        self.dumps: list[Path] = []
+        self._states: dict[str, _RuleState] = {
+            r.name: _RuleState() for r in self.rules
+        }
+        self._lock = threading.RLock()
+
+    # -- signal probing ------------------------------------------------
+
+    def _signal(self, rule: AlertRule, now: float) -> float | None:
+        labels = dict(rule.labels)
+        store = self.store
+        if rule.signal == "latest":
+            return store.latest(rule.metric, **labels)
+        if rule.signal == "rate":
+            return store.rate(rule.metric, rule.window_s, now=now, **labels)
+        if rule.signal == "increase":
+            return store.increase(
+                rule.metric, rule.window_s, now=now, **labels
+            )
+        if rule.signal == "ewma":
+            return store.ewma(rule.metric, tau_s=rule.window_s, **labels)
+        return store.window_quantile(
+            rule.metric, rule.q, rule.window_s, now=now, **labels
+        )
+
+    def _burn(self, rule: AlertRule, window_s: float,
+              now: float) -> float | None:
+        metric = rule.metric or "slo_requests_total"
+        increases = self.store.cell_increases(metric, window_s, now=now)
+        if not increases:
+            return None
+        errors = total = 0.0
+        for ls, inc in increases.items():
+            cell = dict(ls)
+            if rule.tenant is not None and cell.get("tenant") != rule.tenant:
+                continue
+            total += inc
+            if cell.get("status", "ok") in ERROR_STATUSES:
+                errors += inc
+        if total <= 0:
+            return 0.0
+        return (errors / total) / (1.0 - rule.objective)
+
+    def _probe(self, rule: AlertRule,
+               now: float) -> tuple[float | None, bool]:
+        """-> (display value, condition breached)."""
+        if rule.kind == "burn_rate":
+            burns = [self._burn(rule, w, now) for w, _ in rule.windows]
+            if any(b is None for b in burns):
+                return (None, False)
+            breached = all(
+                b >= factor
+                for b, (_, factor) in zip(burns, rule.windows)
+            )
+            return (min(burns), breached)
+        if rule.kind == "anomaly":
+            value = self.store.mad_z(
+                rule.metric, window_s=None, **dict(rule.labels)
+            )
+        else:
+            value = self._signal(rule, now)
+        if value is None:
+            return (None, False)
+        return (value, OPS[rule.op](value, rule.threshold))
+
+    # -- lifecycle -------------------------------------------------------
+
+    def evaluate(self, now: float | None = None) -> list[dict]:
+        """One evaluation pass; returns the transitions it emitted."""
+        with self._lock:
+            if now is None:
+                now = self.store.latest_time()
+            if now is None:
+                return []
+            emitted: list[dict] = []
+            for rule in self.rules:
+                st = self._states[rule.name]
+                try:
+                    value, breached = self._probe(rule, now)
+                except ValueError:
+                    value, breached = None, False  # bad rule, never a crash
+                st.value = value
+                if st.state == "inactive" and breached:
+                    if rule.for_s > 0:
+                        st.state, st.since = "pending", now
+                        emitted.append(self._transition(
+                            rule, "inactive", "pending", now, value
+                        ))
+                    else:
+                        self._fire(rule, st, "inactive", now, value, emitted)
+                elif st.state == "pending":
+                    if not breached:
+                        st.state, st.since = "inactive", None
+                        emitted.append(self._transition(
+                            rule, "pending", "inactive", now, value
+                        ))
+                    elif now - st.since >= rule.for_s:
+                        self._fire(rule, st, "pending", now, value, emitted)
+                elif st.state == "firing" and not breached:
+                    st.state, st.since = "inactive", None
+                    emitted.append(self._transition(
+                        rule, "firing", "resolved", now, value
+                    ))
+            self.transitions.extend(emitted)
+        for event in emitted:
+            for sink in self.sinks:
+                sink(event)
+        return emitted
+
+    def _fire(self, rule: AlertRule, st: _RuleState, origin: str,
+              now: float, value: float | None, emitted: list[dict]) -> None:
+        st.state, st.since = "firing", now
+        emitted.append(self._transition(rule, origin, "firing", now, value))
+        if self.recorder is not None and self.dump_dir is not None:
+            try:
+                path = self.recorder.dump(
+                    self.dump_dir,
+                    reason=f"alert-{_slug(rule.name)}",
+                    error=None,
+                    extra={"alert": {
+                        "rule": rule.name, "severity": rule.severity,
+                        "value": value, "t": now,
+                    }},
+                )
+            except OSError:  # pragma: no cover - dump dir unwritable
+                return
+            self.dumps.append(path)
+            if self.on_dump is not None:
+                self.on_dump(path)
+
+    @staticmethod
+    def _transition(rule: AlertRule, origin: str, to: str, now: float,
+                    value: float | None) -> dict:
+        return {
+            "rule": rule.name,
+            "severity": rule.severity,
+            "from": origin,
+            "to": to,
+            "t": now,
+            "value": value,
+        }
+
+    def active(self) -> list[dict]:
+        """Non-inactive rules, for dashboards and ``stats()``."""
+        with self._lock:
+            return [
+                {
+                    "rule": rule.name,
+                    "severity": rule.severity,
+                    "state": st.state,
+                    "since": st.since,
+                    "value": st.value,
+                }
+                for rule in self.rules
+                for st in (self._states[rule.name],)
+                if st.state != "inactive"
+            ]
+
+    def state(self, name: str) -> str:
+        with self._lock:
+            return self._states[name].state
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if callable(close):
+                close()
+
+
+def replay_rules(
+    rules: Iterable[AlertRule],
+    series_path: str | Path,
+    sinks: Iterable[Callable[[dict], None]] = (),
+) -> list[dict]:
+    """Evaluate ``rules`` over a recorded series exactly as the live
+    sampler would have: ingest one sample, evaluate at its recorded
+    time, repeat.  Deterministic -- two replays of the same file emit
+    byte-identical transition logs."""
+    header, samples = read_series_jsonl(series_path)
+    store = TimeSeriesStore(capacity=int(header.get("capacity", 512)))
+    engine = AlertEngine(store, rules, sinks=sinks)
+    for t, wall, data in samples:
+        store.ingest(data, t=t, wall=wall)
+        engine.evaluate(t)
+    engine.close()
+    return engine.transitions

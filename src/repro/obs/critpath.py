@@ -423,10 +423,11 @@ class _CausalDag:
 # ---------------------------------------------------------------------------
 
 
-def _robust_scores(values: list[float]) -> tuple[list[float], float] | None:
+def robust_scores(values: list[float]) -> tuple[list[float], float] | None:
     """Modified z-scores of ``values`` (MAD-scaled, mean-absolute-
     deviation fallback) and their median; ``None`` when the spread is
-    exactly zero."""
+    exactly zero.  Shared by straggler detection here and the
+    time-series anomaly signal (:meth:`TimeSeriesStore.mad_z`)."""
     med = median(values)
     abs_dev = [abs(v - med) for v in values]
     scale = _MAD_SCALE * median(abs_dev)
@@ -435,6 +436,10 @@ def _robust_scores(values: list[float]) -> tuple[list[float], float] | None:
     if scale <= 0.0:
         return None
     return [(v - med) / scale for v in values], med
+
+
+#: historical private alias (pre-dates the public export)
+_robust_scores = robust_scores
 
 
 def find_stragglers(
@@ -583,5 +588,6 @@ __all__ = [
     "critical_path",
     "find_stragglers",
     "publish_critpath_metrics",
+    "robust_scores",
     "worker_loads",
 ]

@@ -211,10 +211,20 @@ class FlightRecorder:
 
     SCHEMA = 1
 
-    def __init__(self, capacity: int = 4096) -> None:
+    def __init__(
+        self, capacity: int = 4096, max_dumps: int | None = None
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity}")
+        if max_dumps is not None and max_dumps < 1:
+            raise ValueError(f"max_dumps must be positive, got {max_dumps}")
         self.capacity = capacity
+        #: retention cap: after each dump, only the newest
+        #: ``max_dumps`` ``postmortem-*.json`` files survive in the
+        #: dump directory (None = keep everything, the historical
+        #: behaviour).  Alert-triggered dumps during long chaos runs
+        #: would otherwise grow the directory without bound.
+        self.max_dumps = max_dumps
         self._lock = threading.Lock()
         self._ring: deque[dict] = deque(maxlen=capacity)
         self._dumped = 0
@@ -277,7 +287,27 @@ class FlightRecorder:
             except OSError:
                 pass
             raise
+        self._prune_dumps(directory)
         return path
+
+    def _prune_dumps(self, directory: Path) -> None:
+        """Drop the oldest ``postmortem-*.json`` beyond the retention
+        cap (oldest by mtime, name as the same-second tiebreak)."""
+        if self.max_dumps is None:
+            return
+
+        def age(p: Path) -> tuple[float, str]:
+            try:
+                return (p.stat().st_mtime, p.name)
+            except OSError:  # raced with another pruner
+                return (0.0, p.name)
+
+        dumps = sorted(directory.glob("postmortem-*.json"), key=age)
+        for victim in dumps[:-self.max_dumps]:
+            try:
+                victim.unlink()
+            except OSError:  # already gone, or unwritable: not fatal
+                pass
 
 
 def load_postmortem(path: str | Path) -> dict:

@@ -289,26 +289,30 @@ class Histogram(_Metric):
 
     def quantile(self, q: float, **labels: object) -> float | None:
         """Interpolated quantile: with labels, that cell's; without,
-        the aggregate across every label set.  None when empty."""
+        the aggregate across every label set.  None when empty.
+
+        The aggregate goes through :func:`merge_histogram_states`, so
+        cells whose bucket bounds disagree (possible after a merge
+        from a registry that declared the metric with another ladder)
+        raise instead of silently mis-summing positional buckets.
+        """
         if labels:
             cell = self._cells.get(_labelset(labels))
             return cell.quantile(q) if cell is not None else None
-        cells = list(self.cells().values())
-        if not cells:
-            return None
-        buckets = [0] * (len(self.buckets) + 1)
-        count, vmin, vmax = 0, float("inf"), float("-inf")
-        for cell in cells:
-            for i, n in enumerate(cell.buckets):
-                buckets[i] += n
-            count += cell.count
-            if cell.count:
-                vmin = min(vmin, cell.min)
-                vmax = max(vmax, cell.max)
-        return bucket_quantile(
-            self.buckets, buckets, count,
-            vmin if count else None, vmax if count else None, q,
+        merged = merge_histogram_states(
+            {
+                "bounds": cell.bounds,
+                "buckets": cell.buckets,
+                "count": cell.count,
+                "sum": cell.sum,
+                "min": cell.min if cell.count else None,
+                "max": cell.max if cell.count else None,
+            }
+            for cell in self.cells().values()
         )
+        if merged is None or not merged["count"]:
+            return None
+        return quantile_from_state(merged, q)
 
 
 @dataclass(frozen=True)

@@ -100,6 +100,25 @@ class ServiceConfig:
     #: :meth:`SolverService.write_timeline` can export task kernels
     #: under their lifecycle spans (off by default: traces are big)
     trace_requests: bool = False
+    #: telemetry sampling interval in seconds: a sampler thread
+    #: snapshots the registry into a bounded
+    #: :class:`~repro.obs.timeseries.TimeSeriesStore` and (with
+    #: ``alert_rules``) evaluates alerts after each sample.  None
+    #: disables the sampler, the store and alerting entirely -- the
+    #: same zero-cost contract ``metrics=None`` set
+    sampling_interval_s: float | None = None
+    #: samples retained per series in the time-series store
+    series_capacity: int = 512
+    #: alert rules evaluated on each sample: a rules-file path, a
+    #: parsed rule list (:func:`repro.obs.alerts.parse_rules` input,
+    #: including pre-built :class:`~repro.obs.alerts.AlertRule`
+    #: objects), or None for no alerting.  Requires sampling
+    alert_rules: object = None
+    #: JSONL file alert transitions append to (None = no file sink)
+    alert_log: object = None
+    #: retention cap on ``postmortem-*.json`` files in ``dump_dir``
+    #: (oldest pruned after each dump; None = keep everything)
+    max_postmortems: int | None = 32
 
 
 class SolverService:
@@ -128,7 +147,10 @@ class SolverService:
         self.recorder: FlightRecorder | None = None
         self.lifecycle: LifecycleTracer | None = None
         if config.lifecycle:
-            self.recorder = FlightRecorder(capacity=config.recorder_events)
+            self.recorder = FlightRecorder(
+                capacity=config.recorder_events,
+                max_dumps=config.max_postmortems,
+            )
             self.lifecycle = LifecycleTracer(
                 metrics=self.metrics, recorder=self.recorder
             )
@@ -164,6 +186,37 @@ class SolverService:
                 metrics=self.metrics,
             )
 
+        #: time-series store / sampler / alert engine -- all None when
+        #: ``sampling_interval_s`` is None (nothing is built, nothing
+        #: is paid; the zero-cost contract the bench gates)
+        self.series = None
+        self.alerts = None
+        self._sampler = None
+        if config.sampling_interval_s is not None:
+            from ..obs.timeseries import TelemetrySampler, TimeSeriesStore
+            self.series = TimeSeriesStore(capacity=config.series_capacity)
+            if config.alert_rules is not None:
+                from ..obs.alerts import AlertEngine, JsonlSink
+                from ..obs.alerts import load_rules, parse_rules
+                rules = config.alert_rules
+                if isinstance(rules, (str, Path)):
+                    rules = load_rules(rules)
+                else:
+                    rules = parse_rules(rules)
+                sinks = []
+                if config.alert_log is not None:
+                    sinks.append(JsonlSink(config.alert_log))
+                self.alerts = AlertEngine(
+                    self.series, rules, sinks=sinks,
+                    recorder=self.recorder, dump_dir=self._dump_dir(),
+                    on_dump=self._note_dump,
+                )
+            self._sampler = TelemetrySampler(
+                self.metrics, self.series,
+                interval_s=config.sampling_interval_s,
+                progress=self.progress, on_sample=self._on_sample,
+            )
+
         # Registry mutations outside the queue/pool/cache/collector
         # locks happen under this one (merge + service counters).
         self._mlock = threading.Lock()
@@ -182,6 +235,10 @@ class SolverService:
         self._c_retried = self.metrics.counter(
             "serve_jobs_retried_total",
             "failed jobs re-queued within their retry budget", "jobs",
+        )
+        self._c_node_lost = self.metrics.counter(
+            "serve_node_lost_total",
+            "batch attempts lost to a (simulated) node death", "attempts",
         )
         self._h_exec = self.metrics.histogram(
             "serve_exec_seconds", "wall time executing one batch", "seconds"
@@ -223,6 +280,8 @@ class SolverService:
             target=self._reap, name="repro-serve-reaper", daemon=True
         )
         self._reaper.start()
+        if self._sampler is not None:
+            self._sampler.start()
         return self
 
     def stop(self, timeout: float = 10.0) -> None:
@@ -237,6 +296,12 @@ class SolverService:
             t.join(timeout)
         if self._reaper is not None:
             self._reaper.join(timeout)
+        if self._sampler is not None:
+            # Final sample (and alert pass) with every runner drained,
+            # before the pool the progress() probe reads shuts down.
+            self._sampler.stop(timeout)
+            if self.alerts is not None:
+                self.alerts.close()
         self.pool.shutdown()
         self._runners = []
         self._reaper = None
@@ -443,6 +508,11 @@ class SolverService:
             budget = self.config.retry_budget
         attempts = leader.extra.get("attempts", 0)
         now = time.monotonic()
+        if self._failure_cause(exc) == "node-lost":
+            # The signal the node-lost alert rule watches: bumped on
+            # every lost attempt, terminal or retried.
+            with self._mlock:
+                self._c_node_lost.inc()
         if budget > 0 and attempts < budget and not self._stop.is_set():
             for job in jobs:
                 if job.expired(now):
@@ -511,6 +581,10 @@ class SolverService:
                      budget: int) -> str:
         if budget > 0 and attempts >= budget:
             return "retry-budget-exhausted"
+        return self._failure_cause(exc)
+
+    @staticmethod
+    def _failure_cause(exc: Exception) -> str:
         causes = [exc, getattr(exc, "__cause__", None)]
         try:
             from ..runtime.engine import NodeLostError
@@ -531,18 +605,32 @@ class SolverService:
                 return "worker-died"
         return "failure"
 
+    def _dump_dir(self) -> Path:
+        dump_dir = self.config.dump_dir
+        if dump_dir is None:
+            dump_dir = Path(tempfile.gettempdir()) / "repro-postmortem"
+        return Path(dump_dir)
+
+    def _note_dump(self, path: Path) -> None:
+        """Track one flight-recorder dump; retention pruning may have
+        deleted older ones, so drop entries that no longer exist."""
+        with self._lock:
+            self.dumps.append(path)
+            self.dumps = [p for p in self.dumps if Path(p).exists()]
+
+    def _on_sample(self, t: float) -> None:
+        if self.alerts is not None:
+            self.alerts.evaluate(t)
+
     def _dump_failure(self, exc: Exception, trace_ids, attempts: int,
                       budget: int) -> None:
         """Terminal failure: flush the flight recorder to disk so the
         post-mortem survives the service (and the process)."""
         if self.recorder is None:
             return
-        dump_dir = self.config.dump_dir
-        if dump_dir is None:
-            dump_dir = Path(tempfile.gettempdir()) / "repro-postmortem"
         try:
             path = self.recorder.dump(
-                Path(dump_dir),
+                self._dump_dir(),
                 reason=self._dump_reason(exc, attempts, budget),
                 error=repr(exc),
                 trace_ids=tuple(trace_ids),
@@ -550,8 +638,7 @@ class SolverService:
             )
         except OSError:  # pragma: no cover - dump dir unwritable
             return
-        with self._lock:
-            self.dumps.append(path)
+        self._note_dump(path)
 
     def _account(self, statuses: dict[str, int], snapshot=None,
                  elapsed: float | None = None) -> None:
@@ -632,6 +719,16 @@ class SolverService:
             "queue_depth": self.queue.depth,
         }
 
+    def sample_now(self) -> float | None:
+        """Force one telemetry sample (and alert pass) immediately --
+        ``repro top``'s final frame and deterministic tests use this
+        instead of waiting out the sampling interval."""
+        if self._sampler is None:
+            raise ServeError(
+                "sampling is disabled (ServiceConfig.sampling_interval_s)"
+            )
+        return self._sampler.sample()
+
     def stats(self) -> dict:
         with self._mlock:
             done, total = self._finished, self._submitted
@@ -650,6 +747,13 @@ class SolverService:
                 len(self.recorder) if self.recorder is not None else 0
             )
             out["postmortems"] = dumps
+        if self.series is not None:
+            out["samples"] = self.series.samples
+        if self.alerts is not None:
+            out["alerts"] = {
+                "active": self.alerts.active(),
+                "transitions": len(self.alerts.transitions),
+            }
         return out
 
     def write_timeline(

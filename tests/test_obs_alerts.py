@@ -1,0 +1,292 @@
+"""The alert rules engine (``repro.obs.alerts``) in isolation: rule
+parsing and validation, the pending/firing/resolved lifecycle with its
+``for_s`` holdoff, multi-window burn-rate semantics over the SLO
+counters, anomaly rules, sinks, flight-recorder dumps on fire, and the
+deterministic replay of a recorded series.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import MetricRegistry, TimeSeriesStore
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertRule,
+    JsonlSink,
+    default_rules,
+    format_transition,
+    load_rules,
+    parse_rule,
+    parse_rules,
+    replay_rules,
+)
+from repro.obs.lifecycle import FlightRecorder
+
+
+def _gauge_snap(value: float):
+    reg = MetricRegistry()
+    reg.gauge("depth").set(value)
+    return reg.snapshot()
+
+
+def _slo_snap(ok: int, error: int, tenant: str = "a"):
+    """Cumulative slo_requests_total in the lifecycle tracer's shape."""
+    reg = MetricRegistry()
+    c = reg.counter("slo_requests_total")
+    if ok:
+        c.inc(ok, tenant=tenant, status="ok")
+    if error:
+        c.inc(error, tenant=tenant, status="error")
+    return reg.snapshot()
+
+
+def _depth_rule(**overrides) -> AlertRule:
+    base = dict(name="deep", metric="depth", signal="latest",
+                op=">", threshold=5.0)
+    base.update(overrides)
+    return parse_rule(base)
+
+
+# -- parsing ----------------------------------------------------------------
+
+
+def test_parse_rule_validates_every_field():
+    rule = parse_rule({
+        "name": "p95", "metric": "lat_seconds", "signal": "quantile",
+        "q": 0.95, "window_s": 10, "op": ">=", "threshold": 2,
+        "for_s": 1, "labels": {"tenant": "a"}, "severity": "ticket",
+    })
+    assert rule.kind == "threshold" and rule.q == 0.95
+    assert rule.labels == (("tenant", "a"),)
+    for bad in (
+        {"metric": "m"},                                # no name
+        {"name": "x", "kind": "nope"},
+        {"name": "x", "metric": "m", "signal": "nope"},
+        {"name": "x", "metric": "m", "op": "!="},
+        {"name": "x"},                                  # threshold, no metric
+        {"name": "x", "metric": "m", "for_s": -1},
+        {"name": "x", "metric": "m", "window_s": 0},
+        {"name": "x", "kind": "burn_rate", "objective": 1.0},
+        {"name": "x", "kind": "burn_rate", "windows": [[0, 2]]},
+    ):
+        with pytest.raises(ValueError):
+            parse_rule(bad)
+    # anomaly rules default to the classic 3.5 modified-z cutoff
+    anomaly = parse_rule({"name": "a", "kind": "anomaly", "metric": "m"})
+    assert anomaly.threshold == 3.5
+    # burn_rate needs no metric (defaults to slo_requests_total)
+    assert parse_rule({"name": "b", "kind": "burn_rate"}).metric == ""
+
+
+def test_parse_rules_accepts_both_shapes_and_rejects_duplicates(tmp_path):
+    docs = [{"name": "a", "metric": "m"}, {"name": "b", "metric": "m"}]
+    assert [r.name for r in parse_rules(docs)] == ["a", "b"]
+    assert [r.name for r in parse_rules({"rules": docs})] == ["a", "b"]
+    # AlertRule instances pass through untouched
+    pre = default_rules()
+    assert parse_rules(pre) == pre
+    with pytest.raises(ValueError):
+        parse_rules([{"name": "a", "metric": "m"},
+                     {"name": "a", "metric": "m"}])
+    path = tmp_path / "rules.json"
+    path.write_text(json.dumps({"rules": docs}))
+    assert [r.name for r in load_rules(path)] == ["a", "b"]
+
+
+# -- lifecycle ----------------------------------------------------------------
+
+
+def test_threshold_fires_immediately_without_holdoff():
+    store = TimeSeriesStore()
+    engine = AlertEngine(store, [_depth_rule()])
+    store.ingest(_gauge_snap(1.0).data, t=0.0)
+    assert engine.evaluate(0.0) == []
+    store.ingest(_gauge_snap(9.0).data, t=1.0)
+    (fired,) = engine.evaluate(1.0)
+    assert (fired["from"], fired["to"]) == ("inactive", "firing")
+    assert fired["value"] == 9.0 and fired["t"] == 1.0
+    assert engine.state("deep") == "firing"
+    assert engine.active()[0]["state"] == "firing"
+    # still breached: no new transition (idempotent while firing)
+    store.ingest(_gauge_snap(9.5).data, t=2.0)
+    assert engine.evaluate(2.0) == []
+    store.ingest(_gauge_snap(1.0).data, t=3.0)
+    (resolved,) = engine.evaluate(3.0)
+    assert (resolved["from"], resolved["to"]) == ("firing", "resolved")
+    assert engine.state("deep") == "inactive"  # resolved is a transition
+    assert engine.active() == []
+
+
+def test_for_holdoff_requires_sustained_breach():
+    store = TimeSeriesStore()
+    engine = AlertEngine(store, [_depth_rule(for_s=2.0)])
+    for t, v in [(0.0, 9.0), (1.0, 9.0), (2.0, 9.0), (3.0, 1.0)]:
+        store.ingest(_gauge_snap(v).data, t=t)
+        engine.evaluate(t)
+    # breach held exactly for_s at t=2 -> fired, then resolved at t=3
+    path = [(e["from"], e["to"]) for e in engine.transitions]
+    assert path == [
+        ("inactive", "pending"),
+        ("pending", "firing"),
+        ("firing", "resolved"),
+    ]
+
+
+def test_pending_cancels_when_the_breach_clears_early():
+    store = TimeSeriesStore()
+    engine = AlertEngine(store, [_depth_rule(for_s=5.0)])
+    for t, v in [(0.0, 9.0), (1.0, 1.0)]:
+        store.ingest(_gauge_snap(v).data, t=t)
+        engine.evaluate(t)
+    path = [(e["from"], e["to"]) for e in engine.transitions]
+    assert path == [("inactive", "pending"), ("pending", "inactive")]
+    assert engine.state("deep") == "inactive"
+
+
+def test_bad_rule_never_crashes_the_evaluation_pass():
+    store = TimeSeriesStore()
+    store.ingest(_gauge_snap(9.0).data, t=0.0)
+    # `increase` on a gauge raises inside the store; the engine must
+    # treat it as "no data", not die (the sampler thread calls this)
+    broken = _depth_rule(name="broken", signal="increase")
+    engine = AlertEngine(store, [broken, _depth_rule()])
+    (fired,) = engine.evaluate(0.0)
+    assert fired["rule"] == "deep"
+    assert engine.state("broken") == "inactive"
+
+
+def test_duplicate_rule_names_rejected():
+    store = TimeSeriesStore()
+    with pytest.raises(ValueError):
+        AlertEngine(store, [_depth_rule(), _depth_rule()])
+
+
+# -- burn rate -----------------------------------------------------------------
+
+
+def test_burn_rate_needs_every_window_breached():
+    rule = AlertRule(name="burn", kind="burn_rate", objective=0.9,
+                     windows=((8.0, 2.0), (2.0, 2.0)))
+    store = TimeSeriesStore()
+    engine = AlertEngine(store, [rule])
+    # healthy traffic: no burn
+    store.ingest(_slo_snap(ok=8, error=0).data, t=0.0)
+    assert engine.evaluate(0.0) == []
+    # a small error blip breaches the short window but not the long
+    # one (the budget is not really being consumed) -> still inactive
+    store.ingest(_slo_snap(ok=8, error=1).data, t=6.0)
+    assert engine.evaluate(6.0) == []
+    assert engine.state("burn") == "inactive"
+    # errors keep flowing: both windows burn -> fires
+    store.ingest(_slo_snap(ok=8, error=9).data, t=7.0)
+    (fired,) = engine.evaluate(7.0)
+    assert fired["to"] == "firing"
+    # display value is the most conservative (minimum) window burn
+    assert fired["value"] >= 2.0
+    # recovery: only-ok traffic drains the long window -> resolves
+    store.ingest(_slo_snap(ok=100, error=9).data, t=12.0)
+    transitions = engine.evaluate(12.0)
+    assert [e["to"] for e in transitions] == ["resolved"]
+
+
+def test_burn_rate_tenant_filter_ignores_other_tenants():
+    rule = AlertRule(name="burn-b", kind="burn_rate", objective=0.9,
+                     windows=((4.0, 1.0),), tenant="b")
+    store = TimeSeriesStore()
+    engine = AlertEngine(store, [rule])
+    reg = MetricRegistry()
+    reg.counter("slo_requests_total").inc(10, tenant="a", status="error")
+    reg.counter("slo_requests_total").inc(10, tenant="b", status="ok")
+    store.ingest(reg.snapshot().data, t=1.0)
+    assert engine.evaluate(1.0) == []  # tenant-a's errors are not b's burn
+
+
+# -- anomaly --------------------------------------------------------------------
+
+
+def test_anomaly_rule_fires_on_the_spike():
+    rule = AlertRule(name="spike", kind="anomaly", metric="depth",
+                     threshold=3.5)
+    store = TimeSeriesStore()
+    engine = AlertEngine(store, [rule])
+    for i in range(8):
+        store.ingest(_gauge_snap(2.0 + 0.1 * (i % 2)).data, t=float(i))
+        assert engine.evaluate(float(i)) == []
+    store.ingest(_gauge_snap(60.0).data, t=8.0)
+    (fired,) = engine.evaluate(8.0)
+    assert fired["to"] == "firing" and fired["value"] > 3.5
+
+
+# -- sinks and dumps -------------------------------------------------------------
+
+
+def test_sinks_receive_transitions_and_jsonl_sink_appends(tmp_path):
+    store = TimeSeriesStore()
+    seen: list[dict] = []
+    jsonl = JsonlSink(tmp_path / "alerts.jsonl")
+    engine = AlertEngine(store, [_depth_rule()], sinks=[seen.append, jsonl])
+    store.ingest(_gauge_snap(9.0).data, t=1.0)
+    engine.evaluate(1.0)
+    store.ingest(_gauge_snap(1.0).data, t=2.0)
+    engine.evaluate(2.0)
+    engine.close()
+    assert [e["to"] for e in seen] == ["firing", "resolved"]
+    lines = (tmp_path / "alerts.jsonl").read_text().splitlines()
+    assert [json.loads(line)["to"] for line in lines] == [
+        "firing", "resolved",
+    ]
+    text = format_transition(seen[0])
+    assert "ALERT deep" in text and "inactive -> firing" in text
+    # a value-less transition formats as '-'
+    assert format_transition({**seen[0], "value": None}).endswith("value=-")
+
+
+def test_firing_dumps_the_flight_recorder(tmp_path):
+    recorder = FlightRecorder(capacity=16)
+    recorder.note("tick", seq=1)
+    store = TimeSeriesStore()
+    noted: list = []
+    engine = AlertEngine(
+        store, [_depth_rule(name="deep rule!")], recorder=recorder,
+        dump_dir=tmp_path, on_dump=noted.append,
+    )
+    store.ingest(_gauge_snap(9.0).data, t=1.0)
+    engine.evaluate(1.0)
+    (path,) = engine.dumps
+    assert noted == [path]
+    assert path.name.startswith("postmortem-alert-deep-rule")
+    doc = json.loads(path.read_text())
+    assert doc["alert"]["rule"] == "deep rule!"
+    assert doc["alert"]["value"] == 9.0 and doc["alert"]["t"] == 1.0
+    assert doc["events"]  # the ring as it was when the alert fired
+    # resolution does not dump; a re-fire dumps again
+    store.ingest(_gauge_snap(1.0).data, t=2.0)
+    engine.evaluate(2.0)
+    store.ingest(_gauge_snap(9.0).data, t=3.0)
+    engine.evaluate(3.0)
+    assert len(engine.dumps) == 2
+
+
+# -- replay ------------------------------------------------------------------------
+
+
+def test_replay_is_deterministic_and_matches_live(tmp_path):
+    store = TimeSeriesStore()
+    engine = AlertEngine(store, [_depth_rule(for_s=1.0)])
+    for t, v in [(0.0, 1.0), (1.0, 9.0), (2.0, 9.0), (3.0, 1.0)]:
+        store.ingest(_gauge_snap(v).data, t=t)
+        engine.evaluate(t)
+    series = store.to_jsonl(tmp_path / "series.jsonl")
+
+    def run(log_name: str) -> str:
+        sink = JsonlSink(tmp_path / log_name)
+        transitions = replay_rules([_depth_rule(for_s=1.0)], series,
+                                   sinks=[sink])
+        sink.close()
+        assert transitions == engine.transitions  # replay == live
+        return (tmp_path / log_name).read_text()
+
+    assert run("a.jsonl") == run("b.jsonl")  # byte-identical logs

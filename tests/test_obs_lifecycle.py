@@ -141,6 +141,68 @@ def test_recorder_ring_is_bounded_and_dump_round_trips(tmp_path):
     assert again != path and again.exists() and path.exists()
 
 
+def test_recorder_ring_wraparound_keeps_newest_events():
+    rec = FlightRecorder(capacity=4)
+    for i in range(10):
+        rec.note("tick", seq=i)
+    assert len(rec) == 4
+    # the ring holds exactly the last `capacity` events, in order
+    assert [e["seq"] for e in rec.events()] == [6, 7, 8, 9]
+    rec.note("tick", seq=10)
+    assert [e["seq"] for e in rec.events()] == [7, 8, 9, 10]
+
+
+def test_recorder_concurrent_record_and_dump(tmp_path):
+    import threading
+
+    rec = FlightRecorder(capacity=256)
+    stop = threading.Event()
+    torn: list[str] = []
+
+    def writer(worker: int) -> None:
+        seq = 0
+        while not stop.is_set():
+            rec.note("tick", worker=worker, seq=seq)
+            seq += 1
+
+    threads = [threading.Thread(target=writer, args=(w,)) for w in range(3)]
+    for t in threads:
+        t.start()
+    try:
+        paths = [rec.dump(tmp_path, reason="race") for _ in range(5)]
+    finally:
+        stop.set()
+        for t in threads:
+            t.join()
+    assert len({p.name for p in paths}) == 5  # fresh ordinal every time
+    for path in paths:
+        doc = load_postmortem(path)  # atomic: never a torn file
+        for event in doc["events"]:
+            # every event is whole -- both fields or it was torn
+            if event["event"] == "tick" and (
+                "worker" not in event or "seq" not in event
+            ):
+                torn.append(str(event))
+    assert not torn
+    # no stray temp files survive the dumps
+    assert not list(tmp_path.glob(".pm-*"))
+
+
+def test_recorder_dump_retention_prunes_oldest(tmp_path):
+    rec = FlightRecorder(capacity=8, max_dumps=3)
+    rec.note("tick")
+    paths = [rec.dump(tmp_path, reason="flood") for _ in range(6)]
+    survivors = sorted(p.name for p in tmp_path.glob("postmortem-*.json"))
+    assert survivors == sorted(p.name for p in paths[-3:])
+    # uncapped recorder keeps everything (the historical behaviour)
+    rec2 = FlightRecorder(capacity=8)
+    for _ in range(4):
+        rec2.dump(tmp_path / "uncapped", reason="flood")
+    assert len(list((tmp_path / "uncapped").glob("*.json"))) == 4
+    with pytest.raises(ValueError):
+        FlightRecorder(max_dumps=0)
+
+
 def test_load_postmortem_rejects_foreign_documents(tmp_path):
     bogus = tmp_path / "x.json"
     bogus.write_text(json.dumps({"kind": "something-else"}))

@@ -217,6 +217,47 @@ def test_histogram_quantile_interpolation_and_clamping():
     assert bucket_quantile((1.0,), [0, 0], 0, None, None, 0.5) is None
 
 
+def test_aggregate_quantile_merges_labelled_cells():
+    from repro.obs.metrics import (
+        merge_histogram_states,
+        quantile_from_state,
+    )
+
+    reg = MetricRegistry()
+    h = reg.histogram("latency_seconds", buckets=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.2, 0.3):
+        h.observe(v, tenant="a")
+    for v in (2.0, 5.0, 8.0):
+        h.observe(v, tenant="b")
+    # the aggregate is the merged-state quantile, not either cell's
+    snap = reg.snapshot()
+    merged = merge_histogram_states(
+        snap.data["latency_seconds"]["values"].values()
+    )
+    assert h.quantile(0.5) == quantile_from_state(merged, 0.5)
+    assert h.quantile(0.5) != h.quantile(0.5, tenant="a")
+    assert h.quantile(0.0) == 0.05 and h.quantile(1.0) == 8.0
+    # empty histogram -> None, not an error
+    assert reg.histogram("empty_seconds", buckets=(1.0,)).quantile(0.5) is None
+
+
+def test_aggregate_quantile_rejects_mismatched_cell_bounds():
+    reg = MetricRegistry()
+    h = reg.histogram("latency_seconds", buckets=(0.1, 1.0))
+    h.observe(0.5, tenant="a")
+    h.observe(0.7, tenant="b")
+    # simulate a cell whose ladder disagrees (a foreign registry merged
+    # the metric with another bucket layout): the aggregate must raise,
+    # not silently sum positional buckets from different ladders
+    cell = h.labels(tenant="b")
+    cell.bounds = (9.9,)
+    cell.buckets = [1, 0]
+    with pytest.raises(ValueError):
+        h.quantile(0.5)
+    # the per-cell path is still fine
+    assert h.quantile(0.5, tenant="a") == pytest.approx(0.5)
+
+
 def test_merge_histogram_states_folds_and_rejects_mismatch():
     from repro.obs.metrics import (
         merge_histogram_states,
